@@ -1,0 +1,223 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section on the simulator:
+//
+//	experiments -fig 3     per-benchmark IPC, six architectures
+//	experiments -fig 4     average IPC for 1/2/4 programs
+//	experiments -table 1   recycling statistics
+//	experiments -fig 5     recycling fetch limits (stop/fetch/nostop x 8/16/32)
+//	experiments -fig 6     machine sweep (small/big x 1.8/2.8/2.16)
+//	experiments -all       everything
+//
+// Absolute IPC differs from the paper (synthetic workloads, not Alpha
+// SPEC95 binaries); the comparisons between configurations are the
+// reproduced result.  See EXPERIMENTS.md for the side-by-side reading.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"recyclesim/internal/config"
+	"recyclesim/internal/core"
+	"recyclesim/internal/stats"
+	"recyclesim/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (3, 4, 5, 6)")
+	table := flag.Int("table", 0, "table number to regenerate (1)")
+	all := flag.Bool("all", false, "regenerate everything")
+	insts := flag.Uint64("insts", 300_000, "committed-instruction budget per run")
+	flag.Parse()
+
+	ran := false
+	if *all || *fig == 3 {
+		figure3(*insts)
+		ran = true
+	}
+	if *all || *fig == 4 {
+		figure4(*insts)
+		ran = true
+	}
+	if *all || *table == 1 {
+		table1(*insts)
+		ran = true
+	}
+	if *all || *fig == 5 {
+		figure5(*insts)
+		ran = true
+	}
+	if *all || *fig == 6 {
+		figure6(*insts)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(mach config.Machine, feat config.Features, names []string, insts uint64) *stats.Sim {
+	progs, err := workload.MixPrograms(names)
+	if err != nil {
+		panic(err)
+	}
+	c, err := core.New(mach, feat, progs)
+	if err != nil {
+		panic(err)
+	}
+	return c.Run(insts, 40*insts)
+}
+
+var presets = []string{"SMT", "TME", "REC", "REC/RU", "REC/RS", "REC/RS/RU"}
+
+func featByName(name string) config.Features {
+	f, ok := config.PresetByName(name)
+	if !ok {
+		panic("unknown preset " + name)
+	}
+	return f
+}
+
+// figure3 regenerates Figure 3: per-benchmark IPC for the six
+// architectures, one program on the baseline big.2.16 machine.
+func figure3(insts uint64) {
+	fmt.Println("Figure 3: per-benchmark IPC, 1 program, big.2.16")
+	fmt.Printf("%-10s", "program")
+	for _, p := range presets {
+		fmt.Printf(" %9s", p)
+	}
+	fmt.Println()
+	for _, bench := range workload.Names {
+		fmt.Printf("%-10s", bench)
+		for _, p := range presets {
+			s := run(config.Big216(), featByName(p), []string{bench}, insts)
+			fmt.Printf(" %9.3f", s.IPC())
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// avgIPC averages IPC over the eight permutation mixes of n programs
+// (n=1 averages the eight benchmarks, as the paper does).
+func avgIPC(mach config.Machine, feat config.Features, n int, insts uint64) float64 {
+	total := 0.0
+	runs := 0
+	if n == 1 {
+		for _, bench := range workload.Names {
+			s := run(mach, feat, []string{bench}, insts)
+			total += s.IPC()
+			runs++
+		}
+	} else {
+		for _, mix := range workload.Mixes(n) {
+			s := run(mach, feat, mix, insts)
+			total += s.IPC()
+			runs++
+		}
+	}
+	return total / float64(runs)
+}
+
+// figure4 regenerates Figure 4: average IPC for 1, 2 and 4 programs
+// across the six architectures.
+func figure4(insts uint64) {
+	fmt.Println("Figure 4: average IPC, 1/2/4 programs, big.2.16")
+	fmt.Printf("%-10s", "programs")
+	for _, p := range presets {
+		fmt.Printf(" %9s", p)
+	}
+	fmt.Println()
+	for _, n := range []int{1, 2, 4} {
+		fmt.Printf("%-10d", n)
+		for _, p := range presets {
+			fmt.Printf(" %9.3f", avgIPC(config.Big216(), featByName(p), n, insts))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// table1 regenerates Table 1: recycling statistics under REC/RS/RU.
+func table1(insts uint64) {
+	fmt.Println("Table 1: recycling statistics (REC/RS/RU, big.2.16)")
+	fmt.Println(stats.Table1Header())
+	feat := featByName("REC/RS/RU")
+	for _, bench := range workload.Names {
+		s := run(config.Big216(), feat, []string{bench}, insts)
+		fmt.Println(s.Table1Row(bench))
+	}
+	for _, n := range []int{1, 2, 4} {
+		agg := &stats.Sim{}
+		if n == 1 {
+			for _, bench := range workload.Names {
+				agg.Add(run(config.Big216(), feat, []string{bench}, insts))
+			}
+		} else {
+			for _, mix := range workload.Mixes(n) {
+				agg.Add(run(config.Big216(), feat, mix, insts))
+			}
+		}
+		fmt.Println(agg.Table1Row(fmt.Sprintf("%d prog avg", n)))
+	}
+	fmt.Println()
+}
+
+// figure5 regenerates Figure 5: the §5.2 alternate-path fetch policies.
+func figure5(insts uint64) {
+	fmt.Println("Figure 5: recycling fetch limits (REC/RS/RU, big.2.16), average IPC")
+	fmt.Printf("%-10s", "programs")
+	type pol struct {
+		p config.AltPolicy
+		n int
+	}
+	var pols []pol
+	for _, p := range []config.AltPolicy{config.AltNoStop, config.AltStop, config.AltFetch} {
+		for _, n := range []int{8, 16, 32} {
+			pols = append(pols, pol{p, n})
+		}
+	}
+	for _, pl := range pols {
+		fmt.Printf(" %10s", fmt.Sprintf("%s-%d", pl.p, pl.n))
+	}
+	fmt.Println()
+	for _, n := range []int{1, 2, 4} {
+		fmt.Printf("%-10d", n)
+		for _, pl := range pols {
+			feat := featByName("REC/RS/RU")
+			feat.AltPolicy = pl.p
+			feat.AltLimit = pl.n
+			fmt.Printf(" %10.3f", avgIPC(config.Big216(), feat, n, insts))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// figure6 regenerates Figure 6: SMT vs TME vs REC/RS/RU across the
+// four machine design points.
+func figure6(insts uint64) {
+	fmt.Println("Figure 6: machine sweep, average IPC")
+	machines := []config.Machine{
+		config.Small18(), config.Small28(), config.Big18(), config.Big216(),
+	}
+	fmt.Printf("%-10s", "programs")
+	for _, m := range machines {
+		for _, p := range []string{"SMT", "TME", "REC/RS/RU"} {
+			fmt.Printf(" %16s", m.Name+"/"+p)
+		}
+	}
+	fmt.Println()
+	for _, n := range []int{1, 2, 4} {
+		fmt.Printf("%-10d", n)
+		for _, m := range machines {
+			for _, p := range []string{"SMT", "TME", "REC/RS/RU"} {
+				fmt.Printf(" %16.3f", avgIPC(m, featByName(p), n, insts))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,89 @@
+// Command recycleasm assembles a .ras source file and prints a listing
+// (PC, encoded form, disassembly) plus the data segment, or runs the
+// program on the golden emulator with -run.
+//
+//	recycleasm prog.ras
+//	recycleasm -run -steps 10000 prog.ras
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"recyclesim/internal/asm"
+	"recyclesim/internal/emu"
+	"recyclesim/internal/isa"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute on the functional emulator after assembling")
+	steps := flag.Uint64("steps", 100_000, "emulator step budget with -run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: recycleasm [-run] [-steps n] file.ras")
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Invert the label table for the listing.
+	byAddr := map[uint64][]string{}
+	for name, addr := range prog.Labels {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	for _, names := range byAddr {
+		sort.Strings(names)
+	}
+
+	fmt.Printf("; %s — %d instructions, %d data words\n",
+		prog.Name, len(prog.Code), len(prog.Data))
+	for i, in := range prog.Code {
+		pc := prog.Entry + uint64(i*isa.InstBytes)
+		for _, l := range byAddr[pc] {
+			fmt.Printf("%s:\n", l)
+		}
+		fmt.Printf("  0x%04x  %v\n", pc, in)
+	}
+
+	if len(prog.Data) > 0 {
+		fmt.Println("\n; data")
+		addrs := make([]uint64, 0, len(prog.Data))
+		for a := range prog.Data {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		shown := 0
+		for _, a := range addrs {
+			for _, l := range byAddr[a] {
+				fmt.Printf("%s:\n", l)
+			}
+			fmt.Printf("  0x%06x  %d\n", a, prog.Data[a])
+			if shown++; shown >= 32 {
+				fmt.Printf("  ... (%d more words)\n", len(addrs)-shown)
+				break
+			}
+		}
+	}
+
+	if *run {
+		e := emu.New(prog)
+		n := e.Run(*steps)
+		fmt.Printf("\n; ran %d instructions, halted=%v, pc=0x%x\n", n, e.Halted, e.PC)
+		for r := 1; r < 16; r++ {
+			if e.Regs[r] != 0 {
+				fmt.Printf(";   r%-2d = %d\n", r, int64(e.Regs[r]))
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command recyclesim runs one simulation: a set of workloads on a
+// machine configuration with a feature preset, printing IPC and the
+// recycling statistics.
+//
+// Usage:
+//
+//	recyclesim -machine big.2.16 -features REC/RS/RU -workloads compress,gcc -insts 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"recyclesim"
+)
+
+func main() {
+	machine := flag.String("machine", "big.2.16", "machine configuration: big.2.16, big.1.8, small.1.8, small.2.8")
+	features := flag.String("features", "REC/RS/RU", "architecture: SMT, TME, REC, REC/RU, REC/RS, REC/RS/RU")
+	workloads := flag.String("workloads", "compress", "comma-separated benchmark names (see -list)")
+	insts := flag.Uint64("insts", 500_000, "committed-instruction budget")
+	policy := flag.String("altpolicy", "nostop", "alternate-path policy: stop, fetch, nostop")
+	limit := flag.Int("altlimit", 32, "alternate-path instruction limit")
+	list := flag.Bool("list", false, "list built-in workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range recyclesim.Workloads() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	feat := recyclesim.PresetByName(*features)
+	switch *policy {
+	case "stop":
+		feat.AltPolicy = recyclesim.AltStop
+	case "fetch":
+		feat.AltPolicy = recyclesim.AltFetch
+	case "nostop":
+		feat.AltPolicy = recyclesim.AltNoStop
+	default:
+		fmt.Fprintf(os.Stderr, "unknown alt policy %q\n", *policy)
+		os.Exit(2)
+	}
+	feat.AltLimit = *limit
+
+	names := strings.Split(*workloads, ",")
+	res, err := recyclesim.Run(recyclesim.Options{
+		Machine:   recyclesim.MachineByName(*machine),
+		Features:  feat,
+		Workloads: names,
+		MaxInsts:  *insts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine    %s\n", *machine)
+	fmt.Printf("features   %s (alt %s-%d)\n", recyclesim.FeatureName(feat), feat.AltPolicy, feat.AltLimit)
+	fmt.Printf("workloads  %s\n", strings.Join(names, ", "))
+	fmt.Printf("cycles     %d\n", res.Cycles)
+	fmt.Printf("committed  %d\n", res.Committed)
+	fmt.Printf("IPC        %.3f\n", res.IPC())
+	fmt.Printf("mispredict %.2f%%  (coverage %.1f%%)\n", 100*res.MispredictRate(), res.BranchMissCoverage())
+	fmt.Printf("recycled   %.1f%% of renamed;  reused %.1f%%\n", res.PctRecycled(), res.PctReused())
+	fmt.Printf("forks      %d (respawns %d)  merges %d (%.1f%% backward)\n",
+		res.Forks, res.Respawns, res.Merges, res.PctBackMerges())
+	fmt.Printf("renamed    %d  squashed %d  fetched %d\n", res.Renamed, res.Squashed, res.Fetched)
+	fmt.Printf("stalls     regs=%d al=%d iq=%d reclaims=%d\n",
+		res.RenameStallRegs, res.RenameStallAL, res.IQFullStalls, res.Reclaims)
+	fmt.Printf("forkfail   noctx=%d reusepin=%d\n", res.ForkFailNoCtx, res.ForkFailReuse)
+	for i, n := range res.PerProgram {
+		fmt.Printf("program %d  committed %d\n", i, n)
+	}
+}

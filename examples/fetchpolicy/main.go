@@ -1,0 +1,50 @@
+// Fetchpolicy: reproduce the §5.2 experiment interactively — how long
+// should an alternate path keep fetching (and executing) after its
+// branch resolves?  The paper's finding: "a fetch limit of 8
+// instructions for an alternate thread achieves some performance gain
+// over fetching more ... all of the policies provide acceptable
+// performance."
+//
+//	go run ./examples/fetchpolicy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recyclesim"
+)
+
+func main() {
+	machine := recyclesim.MachineByName("big.2.16")
+	policies := []recyclesim.AltPolicy{
+		recyclesim.AltStop, recyclesim.AltFetch, recyclesim.AltNoStop,
+	}
+
+	fmt.Println("go + compress (2 programs), REC/RS/RU, big.2.16:")
+	fmt.Printf("%-8s", "")
+	for _, lim := range []int{8, 16, 32} {
+		fmt.Printf(" %8d", lim)
+	}
+	fmt.Println()
+
+	for _, pol := range policies {
+		fmt.Printf("%-8s", pol)
+		for _, lim := range []int{8, 16, 32} {
+			feat := recyclesim.PresetByName("REC/RS/RU")
+			feat.AltPolicy = pol
+			feat.AltLimit = lim
+			res, err := recyclesim.Run(recyclesim.Options{
+				Machine:   machine,
+				Features:  feat,
+				Workloads: []string{"go", "compress"},
+				MaxInsts:  300_000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.3f", res.IPC())
+		}
+		fmt.Println()
+	}
+}

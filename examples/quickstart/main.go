@@ -1,0 +1,41 @@
+// Quickstart: simulate one benchmark on the paper's baseline machine
+// and show what instruction recycling buys over plain SMT and TME.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recyclesim"
+)
+
+func main() {
+	machine := recyclesim.MachineByName("big.2.16")
+
+	fmt.Println("compress on big.2.16, 300k instructions:")
+	fmt.Printf("%-10s %8s %12s %10s %8s\n", "config", "IPC", "recycled%", "reused%", "forks")
+
+	var smtIPC, best float64
+	for _, preset := range []string{"SMT", "TME", "REC", "REC/RU", "REC/RS", "REC/RS/RU"} {
+		res, err := recyclesim.Run(recyclesim.Options{
+			Machine:   machine,
+			Features:  recyclesim.PresetByName(preset),
+			Workloads: []string{"compress"},
+			MaxInsts:  300_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8.3f %11.1f%% %9.1f%% %8d\n",
+			preset, res.IPC(), res.PctRecycled(), res.PctReused(), res.Forks)
+		if preset == "SMT" {
+			smtIPC = res.IPC()
+		}
+		if res.IPC() > best {
+			best = res.IPC()
+		}
+	}
+	fmt.Printf("\nbest configuration is %.1f%% faster than SMT\n", 100*(best/smtIPC-1))
+}

@@ -1,0 +1,3 @@
+module recyclesim
+
+go 1.22

@@ -1,0 +1,219 @@
+// Package alist implements the per-context active lists of the SMT/TME
+// processor.  An active list is the context's in-order record of
+// renamed instructions (a reorder buffer in other terminology), and in
+// the recycling architecture it does double duty as trace storage: per
+// §2 of the paper each entry holds the decoded instruction and both the
+// old register mapping (freed when the entry commits) and the new
+// mapping (freed when the entry is squashed), plus the execution state
+// recycling and reuse need.
+//
+// Entries are retained after commit until the ring needs the slot, so
+// the primary thread's own recent history is available for
+// backward-branch (loop) recycling — "only loops smaller than the
+// current active lists are able to benefit from the backward branch
+// recycling."
+package alist
+
+import (
+	"recyclesim/internal/bpred"
+	"recyclesim/internal/isa"
+	"recyclesim/internal/regfile"
+)
+
+// Entry is one renamed instruction.  It is identified by (context,
+// Seq); Seq increases by one per rename in the owning context and
+// doubles as the ring index.
+type Entry struct {
+	Ctx  int
+	Seq  uint64
+	PC   uint64
+	Inst isa.Inst
+
+	// Renaming state.
+	NewMap regfile.PhysReg // destination mapping (NoReg when no dest)
+	OldMap regfile.PhysReg // displaced mapping, freed at commit
+	Src1   regfile.PhysReg // physical source for Rs1 (NoReg => constant zero)
+	Src2   regfile.PhysReg // physical source for Rs2
+
+	// Status flags.
+	Committed  bool
+	Dispatched bool // entered the instruction queue
+	Issued     bool
+	Executed   bool
+	Reused     bool // bypassed issue/execute via instruction reuse
+	Recycled   bool // entered rename through the recycle datapath
+	NoIssue    bool // alternate-path policy cancelled execution
+
+	// Execution results.
+	Result uint64
+	Addr   uint64 // effective address for memory operations
+	Taken  bool   // resolved branch direction
+	NextPC uint64 // resolved next PC
+
+	// Branch prediction state carried for recovery and training.
+	Pred       bpred.Pred
+	PredTaken  bool
+	PredTarget uint64
+
+	// TME forking.
+	Forked bool
+	AltCtx int
+
+	// ReuseSrc is the context whose trace supplied a reused result
+	// (-1 when the entry is not reused).
+	ReuseSrc int
+
+	// Timing.
+	ReadyAt uint64 // cycle the result becomes available (once Executed)
+}
+
+// TraceTaken returns the direction this entry's branch follows in the
+// stored trace: the resolved direction when it executed, otherwise the
+// prediction it was fetched under.  Recycling compares the current
+// prediction against this to decide whether to keep following the
+// trace (§3.4's "latter method").
+func (e *Entry) TraceTaken() bool {
+	if e.Executed {
+		return e.Taken
+	}
+	return e.PredTaken
+}
+
+// List is one context's active list: a ring of Capacity entries
+// addressed by absolute sequence number.
+//
+//	start  — oldest retained entry (committed entries linger here)
+//	commit — oldest uncommitted entry
+//	tail   — next sequence number to be allocated
+type List struct {
+	cap   int
+	ents  []Entry
+	start uint64
+	cmt   uint64
+	tail  uint64
+}
+
+// New returns an empty active list with the given capacity.
+func New(capacity int) *List {
+	return &List{cap: capacity, ents: make([]Entry, capacity)}
+}
+
+// Capacity returns the ring size.
+func (l *List) Capacity() int { return l.cap }
+
+// Reset empties the list completely (context reclaim).
+func (l *List) Reset() {
+	l.start, l.cmt, l.tail = 0, 0, 0
+}
+
+func (l *List) slot(seq uint64) *Entry { return &l.ents[seq%uint64(l.cap)] }
+
+// Push allocates the next entry, evicting the oldest retained-committed
+// entry if the ring is full of history.  It fails (nil, false) when the
+// ring is full of uncommitted entries.  evictedSeq reports the sequence
+// number of a dropped retained entry (^uint64(0) when none), which the
+// owner uses to invalidate merge points into that entry.
+func (l *List) Push() (e *Entry, evictedSeq uint64, ok bool) {
+	evictedSeq = ^uint64(0)
+	if l.tail-l.start == uint64(l.cap) {
+		if l.cmt == l.start {
+			return nil, evictedSeq, false // full of live entries
+		}
+		evictedSeq = l.start
+		l.start++
+	}
+	e = l.slot(l.tail)
+	*e = Entry{Seq: l.tail}
+	l.tail++
+	return e, evictedSeq, true
+}
+
+// At returns the entry with the given sequence number if it is still
+// retained (committed history included).
+func (l *List) At(seq uint64) (*Entry, bool) {
+	if seq < l.start || seq >= l.tail {
+		return nil, false
+	}
+	return l.slot(seq), true
+}
+
+// Head returns the oldest uncommitted entry.
+func (l *List) Head() (*Entry, bool) {
+	if l.cmt == l.tail {
+		return nil, false
+	}
+	return l.slot(l.cmt), true
+}
+
+// CommitHead marks the oldest uncommitted entry committed and advances
+// the commit pointer past it (the entry is retained as history).
+func (l *List) CommitHead() {
+	if l.cmt == l.tail {
+		panic("alist: CommitHead on empty window")
+	}
+	l.slot(l.cmt).Committed = true
+	l.cmt++
+}
+
+// SquashFrom removes every uncommitted entry with Seq >= seq, youngest
+// first, invoking undo for each so the caller can restore mappings and
+// release registers.  Entries older than the commit pointer are never
+// touched.
+func (l *List) SquashFrom(seq uint64, undo func(*Entry)) {
+	if seq < l.cmt {
+		seq = l.cmt
+	}
+	for s := l.tail; s > seq; s-- {
+		undo(l.slot(s - 1))
+	}
+	l.tail = seq
+	if l.start > l.tail {
+		l.start = l.tail
+	}
+}
+
+// SquashAll removes every uncommitted entry (youngest first) and then
+// clears retained history; used when a context is reclaimed.
+func (l *List) SquashAll(undo func(*Entry)) {
+	l.SquashFrom(l.cmt, undo)
+	l.start = l.tail
+	l.cmt = l.tail
+}
+
+// FirstSeq returns the sequence number of the oldest retained entry.
+func (l *List) FirstSeq() uint64 { return l.start }
+
+// CommitSeq returns the sequence number of the oldest uncommitted entry.
+func (l *List) CommitSeq() uint64 { return l.cmt }
+
+// TailSeq returns the next sequence number to be allocated.
+func (l *List) TailSeq() uint64 { return l.tail }
+
+// InFlight returns the number of uncommitted entries.
+func (l *List) InFlight() int { return int(l.tail - l.cmt) }
+
+// Len returns the number of retained entries (committed history plus
+// the uncommitted window).
+func (l *List) Len() int { return int(l.tail - l.start) }
+
+// FirstPC returns the PC of the first retained instruction, the merge
+// point §3.2 stores with each hardware context.  ok is false for an
+// empty list.
+func (l *List) FirstPC() (uint64, bool) {
+	if l.tail == l.start {
+		return 0, false
+	}
+	return l.slot(l.start).PC, true
+}
+
+// FindPC searches retained entries oldest-first for the given PC and
+// returns its sequence number; used to establish backward-branch merge
+// points when a loop branch enters the list.
+func (l *List) FindPC(pc uint64) (uint64, bool) {
+	for s := l.start; s < l.tail; s++ {
+		if l.slot(s).PC == pc {
+			return s, true
+		}
+	}
+	return 0, false
+}

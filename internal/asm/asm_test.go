@@ -1,0 +1,290 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"recyclesim/internal/emu"
+	"recyclesim/internal/isa"
+	"recyclesim/internal/program"
+)
+
+func TestBuilderLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	b.Li(R(1), 5)
+	b.Li(R(2), 0)
+	b.Label("loop")
+	b.Add(R(2), R(2), R(1))
+	b.Addi(R(1), R(1), -1)
+	b.Bne(R(1), R(0), "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := emu.New(p)
+	e.Run(1000)
+	if !e.Halted {
+		t.Fatal("did not halt")
+	}
+	if got := e.Regs[2]; got != 5+4+3+2+1 {
+		t.Errorf("sum = %d, want 15", got)
+	}
+}
+
+func TestBuilderForwardLabel(t *testing.T) {
+	b := NewBuilder("fwd")
+	b.Li(R(1), 1)
+	b.Beq(R(1), R(1), "skip") // always taken, target not yet defined
+	b.Li(R(2), 99)
+	b.Label("skip")
+	b.Li(R(3), 7)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := emu.New(p)
+	e.Run(100)
+	if e.Regs[2] != 0 || e.Regs[3] != 7 {
+		t.Errorf("r2=%d r3=%d", e.Regs[2], e.Regs[3])
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.J("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestBuilderDataSymbols(t *testing.T) {
+	b := NewBuilder("data")
+	addr := b.Word("answer", 42)
+	arr := b.Array("vec", 4, 1, 2, 3)
+	b.La(R(1), "answer")
+	b.Ld(R(2), R(1), 0)
+	b.La(R(3), "vec")
+	b.Ld(R(4), R(3), 16)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data[addr] != 42 {
+		t.Errorf("word init = %d", p.Data[addr])
+	}
+	if p.Data[arr+24] != 0 {
+		t.Errorf("array zero-fill failed: %d", p.Data[arr+24])
+	}
+	e := emu.New(p)
+	e.Run(100)
+	if e.Regs[2] != 42 || e.Regs[4] != 3 {
+		t.Errorf("r2=%d r4=%d", e.Regs[2], e.Regs[4])
+	}
+}
+
+func TestBuilderUnknownDataSymbol(t *testing.T) {
+	b := NewBuilder("nosym")
+	b.La(R(1), "missing")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for unknown data symbol")
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := NewBuilder("call")
+	b.Li(R(1), 10)
+	b.Jal("double")
+	b.Mov(R(3), R(2))
+	b.Halt()
+	b.Label("double")
+	b.Add(R(2), R(1), R(1))
+	b.Ret()
+	p := b.MustBuild()
+	e := emu.New(p)
+	e.Run(100)
+	if e.Regs[3] != 20 {
+		t.Errorf("r3 = %d, want 20", e.Regs[3])
+	}
+}
+
+func TestRegisterHelpers(t *testing.T) {
+	if R(31) != isa.RegRA {
+		t.Error("R(31) should be the link register")
+	}
+	if !F(0).IsFP() {
+		t.Error("F(0) should be a floating-point register")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("R(32) should panic")
+		}
+	}()
+	R(32)
+}
+
+const textProgram = `
+; word-count-ish kernel
+.word  total 0
+.array data 4 10 20 30 40
+
+    la   r1, data
+    li   r2, 0      ; index
+    li   r3, 0      ; sum
+loop:
+    slli r4, r2, 3
+    add  r5, r1, r4
+    ld   r6, 0(r5)
+    add  r3, r3, r6
+    addi r2, r2, 1
+    slti r7, r2, 4
+    bne  r7, r0, loop
+    la   r8, total
+    st   r3, 0(r8)
+    halt
+`
+
+func TestAssembleText(t *testing.T) {
+	p, err := Assemble("wc", textProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := emu.New(p)
+	e.Run(1000)
+	if !e.Halted {
+		t.Fatal("did not halt")
+	}
+	if e.Regs[3] != 100 {
+		t.Errorf("sum = %d, want 100", e.Regs[3])
+	}
+	if addr, ok := p.Labels["total"]; !ok {
+		t.Error("missing data symbol in labels")
+	} else if e.Mem.Read(addr) != 100 {
+		t.Errorf("stored total = %d", e.Mem.Read(addr))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"li r1",
+		"ld r1, nope",
+		"beq r1, r2",
+		"add r1, r2, 7x",
+		".word onlyname",
+		".array a 0",
+		"li r99, 1",
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	src := strings.Join([]string{
+		"; semicolon comment",
+		"# hash comment",
+		"// slash comment",
+		"li r1, 3 ; trailing",
+		"halt",
+	}, "\n")
+	p, err := Assemble("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 2 {
+		t.Errorf("code length = %d, want 2", len(p.Code))
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	src := `
+.word w 1
+    li r1, 2
+    li r2, 3
+    add r3, r1, r2
+    sub r3, r1, r2
+    mul r3, r1, r2
+    div r3, r1, r2
+    rem r3, r1, r2
+    and r3, r1, r2
+    or r3, r1, r2
+    xor r3, r1, r2
+    sll r3, r1, r2
+    srl r3, r1, r2
+    sra r3, r1, r2
+    slt r3, r1, r2
+    sltu r3, r1, r2
+    addi r3, r1, 4
+    andi r3, r1, 4
+    ori r3, r1, 4
+    xori r3, r1, 4
+    slli r3, r1, 4
+    srli r3, r1, 4
+    srai r3, r1, 4
+    slti r3, r1, 4
+    mov r4, r3
+    la r5, w
+    ld r6, 0(r5)
+    st r6, 8(r5)
+    fld f1, 0(r5)
+    fst f1, 8(r5)
+    fadd f3, f1, f1
+    fsub f3, f1, f1
+    fmul f3, f1, f1
+    fdiv f3, f1, f1
+    fmov f4, f3
+    fneg f4, f3
+    cvtif f5, r1
+    cvtfi r7, f5
+    flt r8, f1, f3
+    feq r8, f1, f3
+tgt:
+    beq r1, r2, tgt
+    bne r1, r2, tgt
+    blt r1, r2, tgt
+    bge r1, r2, tgt
+    jal sub1
+    j end
+sub1:
+    jr ra
+end:
+    nop
+    ret
+    halt
+`
+	p, err := Assemble("all", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramValidateRejectsBadTarget(t *testing.T) {
+	p := &program.Program{
+		Name:  "bad",
+		Code:  []isa.Inst{{Op: isa.OpJ, Target: 0xDEAD0}},
+		Entry: program.CodeBase,
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Params {
+	return Params{Name: "t", SizeBytes: 1024, LineBytes: 64, Assoc: 2, Banks: 2, HitLat: 1}
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(small())
+	if c.Sets() != 1024/(64*2) {
+		t.Errorf("sets = %d", c.Sets())
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(small())
+	if hit, _ := c.Lookup(1, 0x1000); hit {
+		t.Error("cold access should miss")
+	}
+	if hit, _ := c.Lookup(2, 0x1000); !hit {
+		t.Error("second access should hit")
+	}
+	if hit, _ := c.Lookup(3, 0x1038); !hit {
+		t.Error("same-line access should hit")
+	}
+	if c.Stats.Misses != 1 || c.Stats.Accesses != 3 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := New(small()) // 8 sets, 2 ways; same-set stride = 8*64 = 512
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Lookup(1, a)
+	c.Lookup(2, b)
+	c.Lookup(3, a) // refresh a
+	c.Lookup(4, d) // evicts b (LRU)
+	if !c.Contains(a) {
+		t.Error("a should survive")
+	}
+	if c.Contains(b) {
+		t.Error("b should be evicted")
+	}
+	if !c.Contains(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestBankConflictSameCycle(t *testing.T) {
+	c := New(small()) // 2 banks; lines alternate banks
+	if _, delay := c.Lookup(5, 0x0); delay != 0 {
+		t.Errorf("first access delayed %d", delay)
+	}
+	if _, delay := c.Lookup(5, 0x80); delay != 1 { // same bank (line 2 % 2 banks = 0)
+		t.Errorf("same-cycle same-bank access delayed %d, want 1", delay)
+	}
+	if _, delay := c.Lookup(5, 0x40); delay != 0 { // other bank
+		t.Errorf("other-bank access delayed %d", delay)
+	}
+	// Next cycle the bank is free again: no cross-cycle queue buildup.
+	if _, delay := c.Lookup(6, 0x0); delay != 0 {
+		t.Errorf("next-cycle access delayed %d", delay)
+	}
+}
+
+func TestBankDelayBounded(t *testing.T) {
+	c := New(small())
+	// Hammer one bank for many cycles from two "threads"; the delay
+	// must never exceed the same-cycle access count.
+	for cyc := uint64(1); cyc < 1000; cyc++ {
+		_, d1 := c.Lookup(cyc, 0x0)
+		_, d2 := c.Lookup(cyc, 0x80)
+		if d1 != 0 || d2 != 1 {
+			t.Fatalf("cycle %d: delays %d, %d — queue built up across cycles", cyc, d1, d2)
+		}
+	}
+}
+
+func TestHierarchyLatencyChain(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy(1))
+	// Cold access: L1 miss + L2 miss + L3 miss + memory.
+	lat := h.AccessD(1, 0x10000)
+	want := 1 + 6 + 12 + 62
+	if lat != want {
+		t.Errorf("cold access latency = %d, want %d", lat, want)
+	}
+	// Now everything is resident.
+	if lat := h.AccessD(2, 0x10000); lat != 1 {
+		t.Errorf("warm access latency = %d, want 1", lat)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy(1))
+	h.AccessD(1, 0x10000) // fill all levels
+	// Evict from the direct-mapped L1 by touching the conflicting line.
+	conflict := uint64(0x10000) + uint64(h.DL1.Sets()*64)
+	h.AccessD(2, conflict)
+	// Original line now misses L1 but hits L2.
+	lat := h.AccessD(3, 0x10000)
+	if lat != 1+6 {
+		t.Errorf("L2 hit latency = %d, want 7", lat)
+	}
+}
+
+func TestInstructionPathSeparate(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy(1))
+	h.AccessD(1, 0x4000)
+	lat, hit := h.AccessI(2, 0x4000)
+	if hit {
+		t.Error("IL1 should not be warmed by data accesses")
+	}
+	// The D-side fill left the line in L2, so the I-miss is served by
+	// the L2, not memory.
+	if lat != 1+6 {
+		t.Errorf("I-miss after D-fill latency = %d, want 7", lat)
+	}
+	if _, hit := h.AccessI(3, 0x4000); !hit {
+		t.Error("IL1 should now be warm")
+	}
+}
+
+func TestCacheScale(t *testing.T) {
+	p := DefaultHierarchy(2)
+	if p.IL1.SizeBytes != 32*1024 || p.L2.SizeBytes != 128*1024 {
+		t.Errorf("scaled sizes: IL1=%d L2=%d", p.IL1.SizeBytes, p.L2.SizeBytes)
+	}
+	if p.L3.SizeBytes != 4*1024*1024 {
+		t.Error("the off-chip L3 is not scaled")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats miss rate should be 0")
+	}
+	s.Accesses, s.Misses = 10, 3
+	if s.MissRate() != 0.3 {
+		t.Errorf("miss rate = %f", s.MissRate())
+	}
+}
+
+// Property: a line that was just accessed is always resident
+// immediately afterwards (fill-on-miss), regardless of access sequence.
+func TestFillOnMissProperty(t *testing.T) {
+	c := New(small())
+	cycle := uint64(0)
+	fn := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			cycle++
+			addr := uint64(a) * 8
+			c.Lookup(cycle, addr)
+			if !c.Contains(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero-size cache")
+		}
+	}()
+	New(Params{Name: "bad"})
+}

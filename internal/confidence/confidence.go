@@ -1,0 +1,75 @@
+// Package confidence implements a branch confidence estimator in the
+// style of Jacobsen, Rotenberg and Smith ("Assigning confidence to
+// conditional branch predictions", MICRO-29), which the TME
+// architecture uses to select which branches to fork: "Candidate
+// branches are selected based on branch confidence prediction methods."
+//
+// The estimator is a table of resetting miss-distance counters indexed
+// by branch address.  A correct prediction increments the saturating
+// counter; a misprediction resets it to zero.  A branch is *high
+// confidence* once its counter reaches the threshold, so the forking
+// budget concentrates on branches that miss recently and repeatedly —
+// programs with high prediction accuracy fork almost nothing, which is
+// what keeps TME from degrading them (§2).
+//
+// The table is deliberately indexed by PC alone (not PC XOR history):
+// history-indexed confidence spreads each static branch across many
+// independently-cold entries, which never warm up and make every branch
+// look low-confidence forever.
+package confidence
+
+import "recyclesim/internal/isa"
+
+// Config sizes the estimator.
+type Config struct {
+	Entries   int // table entries (power of two)
+	Max       int // counter saturation value
+	Threshold int // counter >= Threshold means high confidence
+}
+
+// Default returns a 1K-entry estimator with a 4-bit resetting counter
+// and threshold 4: a branch is fork-worthy for its first few dynamic
+// instances after any misprediction.
+func Default() Config { return Config{Entries: 1024, Max: 15, Threshold: 4} }
+
+// Estimator is the confidence table, shared across contexts.
+type Estimator struct {
+	cfg Config
+	ctr []uint8
+}
+
+// New builds an estimator; all counters start at zero (low confidence),
+// so cold branches are fork candidates until they prove predictable.
+func New(cfg Config) *Estimator {
+	return &Estimator{cfg: cfg, ctr: make([]uint8, cfg.Entries)}
+}
+
+func (e *Estimator) index(pc uint64) int {
+	return int(pc / isa.InstBytes % uint64(len(e.ctr)))
+}
+
+// HighConfidence reports whether the branch at pc is currently
+// considered well predicted.  TME forks when this is false and a spare
+// context is available.  The hist argument is accepted for API
+// compatibility with history-indexed variants but unused (see the
+// package comment).
+func (e *Estimator) HighConfidence(pc, hist uint64) bool {
+	_ = hist
+	return int(e.ctr[e.index(pc)]) >= e.cfg.Threshold
+}
+
+// Update trains the counter with a resolved branch outcome.
+func (e *Estimator) Update(pc, hist uint64, predictedCorrectly bool) {
+	_ = hist
+	i := e.index(pc)
+	if predictedCorrectly {
+		if int(e.ctr[i]) < e.cfg.Max {
+			e.ctr[i]++
+		}
+	} else {
+		e.ctr[i] = 0
+	}
+}
+
+// Counter exposes the raw counter value for tests and introspection.
+func (e *Estimator) Counter(pc uint64) int { return int(e.ctr[e.index(pc)]) }

@@ -1,0 +1,217 @@
+// Package config defines machine configurations (§4.1, §5.3) and the
+// feature toggles the paper's experiments sweep (SMT, TME, REC, RU, RS
+// and the alternate-path fetch policies of §5.2).
+package config
+
+import "fmt"
+
+// Machine describes the hardware configuration.
+type Machine struct {
+	Name string
+
+	Contexts int // hardware contexts
+
+	// Fetch: ICOUNT.X.Y — up to FetchThreads threads supply up to
+	// FetchWidth total instructions per cycle, at most FetchBlock
+	// contiguous instructions per thread (bounded by cache lines).
+	FetchThreads int
+	FetchWidth   int
+	FetchBlock   int
+
+	RenameWidth int // instructions renamed (fetched + recycled) per cycle
+	CommitWidth int
+
+	IQInt, IQFP int // instruction queue capacities
+
+	IntUnits, LSUnits, FPUnits int
+
+	ActiveList int // active-list entries per context
+
+	// Physical registers: logical regs of all contexts plus Extra
+	// renaming registers per pool (the paper uses 100).
+	ExtraRegs int
+
+	// CacheScale divides L1/L2 capacities (1 = baseline, 2 = "half
+	// the cache" small machine).
+	CacheScale int
+
+	FrontEndLat int // fetch-to-rename latency (decode stages)
+}
+
+// Validate checks configuration invariants.
+func (m Machine) Validate() error {
+	switch {
+	case m.Contexts < 1 || m.Contexts > 16:
+		return fmt.Errorf("config %s: contexts %d out of range", m.Name, m.Contexts)
+	case m.FetchThreads < 1 || m.FetchWidth < 1 || m.FetchBlock < 1:
+		return fmt.Errorf("config %s: bad fetch geometry", m.Name)
+	case m.RenameWidth < 1 || m.CommitWidth < 1:
+		return fmt.Errorf("config %s: bad rename/commit width", m.Name)
+	case m.IQInt < 1 || m.IQFP < 1:
+		return fmt.Errorf("config %s: bad queue sizes", m.Name)
+	case m.IntUnits < 1 || m.FPUnits < 1 || m.LSUnits < 1 || m.LSUnits > m.IntUnits:
+		return fmt.Errorf("config %s: bad functional unit counts", m.Name)
+	case m.ActiveList < 8:
+		return fmt.Errorf("config %s: active list too small", m.Name)
+	case m.ExtraRegs < 0:
+		return fmt.Errorf("config %s: negative extra registers", m.Name)
+	}
+	return nil
+}
+
+// Big216 returns the baseline machine: 16-wide, fetching 8 instructions
+// from each of 2 threads per cycle ("big.2.16").
+func Big216() Machine {
+	return Machine{
+		Name:         "big.2.16",
+		Contexts:     8,
+		FetchThreads: 2, FetchWidth: 16, FetchBlock: 8,
+		RenameWidth: 16, CommitWidth: 16,
+		IQInt: 64, IQFP: 64,
+		IntUnits: 12, LSUnits: 8, FPUnits: 6,
+		ActiveList:  64,
+		ExtraRegs:   100,
+		CacheScale:  1,
+		FrontEndLat: 2,
+	}
+}
+
+// Big18 is the baseline machine restricted to one fetch thread per
+// cycle ("big.1.8").
+func Big18() Machine {
+	m := Big216()
+	m.Name = "big.1.8"
+	m.FetchThreads, m.FetchWidth = 1, 8
+	return m
+}
+
+// Small18 halves the execution resources, queues and caches and
+// fetches one block per cycle ("small.1.8"), close to the machines in
+// the SMT and TME papers.
+func Small18() Machine {
+	return Machine{
+		Name:         "small.1.8",
+		Contexts:     8,
+		FetchThreads: 1, FetchWidth: 8, FetchBlock: 8,
+		RenameWidth: 8, CommitWidth: 8,
+		IQInt: 32, IQFP: 32,
+		IntUnits: 6, LSUnits: 4, FPUnits: 3,
+		ActiveList:  32,
+		ExtraRegs:   100,
+		CacheScale:  2,
+		FrontEndLat: 2,
+	}
+}
+
+// Small28 is the small machine with the 8-wide fetch filled by two
+// threads ("small.2.8").
+func Small28() Machine {
+	m := Small18()
+	m.Name = "small.2.8"
+	m.FetchThreads = 2
+	return m
+}
+
+// Machines returns all four §5.3 design points keyed by name.
+func Machines() map[string]Machine {
+	out := map[string]Machine{}
+	for _, m := range []Machine{Big216(), Big18(), Small18(), Small28()} {
+		out[m.Name] = m
+	}
+	return out
+}
+
+// AltPolicy is the §5.2 alternate-path fetch policy.
+type AltPolicy int
+
+// Alternate-path policies: what an alternate context may do after its
+// forking branch resolves (and the instruction cap that applies to
+// alternate paths throughout their life).
+const (
+	// AltStop stops fetch and issue immediately at resolution.
+	AltStop AltPolicy = iota
+	// AltFetch keeps fetching (but not issuing) up to the limit.
+	AltFetch
+	// AltNoStop keeps fetching and issuing up to the limit.
+	AltNoStop
+)
+
+// String names the policy as the paper does.
+func (p AltPolicy) String() string {
+	switch p {
+	case AltStop:
+		return "stop"
+	case AltFetch:
+		return "fetch"
+	case AltNoStop:
+		return "nostop"
+	}
+	return "alt?"
+}
+
+// Features selects the architecture variant being simulated.
+type Features struct {
+	TME     bool // threaded multipath execution
+	Recycle bool // REC: inject stored traces at merge points
+	Reuse   bool // RU: bypass issue/execute when operands unchanged
+	Respawn bool // RS: re-activate inactive traces instead of refetching
+
+	AltPolicy AltPolicy // §5.2 policy for alternate paths
+	AltLimit  int       // alternate path instruction cap (8/16/32)
+
+	// TrustTrace selects §3.4's *former* method: recycled branches
+	// keep the predictions stored with the trace and the global
+	// history is updated with them, instead of stopping the stream at
+	// the first disagreement with the current predictor (the default,
+	// the paper's chosen "latter method").
+	TrustTrace bool
+}
+
+// Named feature presets matching the paper's figure legends.
+var (
+	SMT     = Features{}
+	TME     = Features{TME: true, AltPolicy: AltNoStop, AltLimit: 32}
+	REC     = Features{TME: true, Recycle: true, AltPolicy: AltNoStop, AltLimit: 32}
+	RECRU   = Features{TME: true, Recycle: true, Reuse: true, AltPolicy: AltNoStop, AltLimit: 32}
+	RECRS   = Features{TME: true, Recycle: true, Respawn: true, AltPolicy: AltNoStop, AltLimit: 32}
+	RECRSRU = Features{TME: true, Recycle: true, Reuse: true, Respawn: true, AltPolicy: AltNoStop, AltLimit: 32}
+)
+
+// FeatureName renders the preset the way the paper labels it.
+func FeatureName(f Features) string {
+	switch {
+	case !f.TME:
+		return "SMT"
+	case !f.Recycle:
+		return "TME"
+	default:
+		n := "REC"
+		if f.Respawn {
+			n += "/RS"
+		}
+		if f.Reuse {
+			n += "/RU"
+		}
+		return n
+	}
+}
+
+// PresetByName resolves a figure-legend name ("SMT", "TME", "REC",
+// "REC/RU", "REC/RS", "REC/RS/RU") to its Features.
+func PresetByName(name string) (Features, bool) {
+	switch name {
+	case "SMT":
+		return SMT, true
+	case "TME":
+		return TME, true
+	case "REC":
+		return REC, true
+	case "REC/RU":
+		return RECRU, true
+	case "REC/RS":
+		return RECRS, true
+	case "REC/RS/RU":
+		return RECRSRU, true
+	}
+	return Features{}, false
+}

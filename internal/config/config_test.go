@@ -1,0 +1,96 @@
+package config
+
+import "testing"
+
+func TestMachinesValid(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 4 {
+		t.Fatalf("%d machines", len(ms))
+	}
+	for name, m := range ms {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("name mismatch: %q vs %q", m.Name, name)
+		}
+	}
+}
+
+func TestMachineGeometry(t *testing.T) {
+	big := Big216()
+	if big.FetchThreads != 2 || big.FetchWidth != 16 || big.RenameWidth != 16 {
+		t.Errorf("big.2.16 fetch geometry: %+v", big)
+	}
+	if big.IntUnits != 12 || big.LSUnits != 8 || big.FPUnits != 6 {
+		t.Errorf("big.2.16 FUs: %+v", big)
+	}
+	b18 := Big18()
+	if b18.FetchThreads != 1 || b18.FetchWidth != 8 {
+		t.Errorf("big.1.8: %+v", b18)
+	}
+	s18 := Small18()
+	if s18.RenameWidth != 8 || s18.CacheScale != 2 || s18.IntUnits != 6 {
+		t.Errorf("small.1.8: %+v", s18)
+	}
+	s28 := Small28()
+	if s28.FetchThreads != 2 || s28.FetchWidth != 8 {
+		t.Errorf("small.2.8: %+v", s28)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []func(m *Machine){
+		func(m *Machine) { m.Contexts = 0 },
+		func(m *Machine) { m.Contexts = 99 },
+		func(m *Machine) { m.FetchThreads = 0 },
+		func(m *Machine) { m.RenameWidth = 0 },
+		func(m *Machine) { m.IQInt = 0 },
+		func(m *Machine) { m.LSUnits = 99 }, // exceeds IntUnits
+		func(m *Machine) { m.ActiveList = 4 },
+		func(m *Machine) { m.ExtraRegs = -1 },
+	}
+	for i, mutate := range bad {
+		m := Big216()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"SMT", "TME", "REC", "REC/RU", "REC/RS", "REC/RS/RU"} {
+		f, ok := PresetByName(name)
+		if !ok {
+			t.Fatalf("missing preset %s", name)
+		}
+		if FeatureName(f) != name {
+			t.Errorf("round trip: %s -> %s", name, FeatureName(f))
+		}
+	}
+	if _, ok := PresetByName("NOPE"); ok {
+		t.Error("bogus preset resolved")
+	}
+}
+
+func TestPresetSemantics(t *testing.T) {
+	if SMT.TME || SMT.Recycle {
+		t.Error("SMT must disable everything")
+	}
+	if !TME.TME || TME.Recycle {
+		t.Error("TME enables multipath only")
+	}
+	if !RECRSRU.TME || !RECRSRU.Recycle || !RECRSRU.Reuse || !RECRSRU.Respawn {
+		t.Error("REC/RS/RU enables everything")
+	}
+	if TME.AltLimit <= 0 {
+		t.Error("TME presets need a positive alternate-path limit")
+	}
+}
+
+func TestAltPolicyString(t *testing.T) {
+	if AltStop.String() != "stop" || AltFetch.String() != "fetch" || AltNoStop.String() != "nostop" {
+		t.Error("policy names")
+	}
+}

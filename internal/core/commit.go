@@ -1,0 +1,145 @@
+package core
+
+import "recyclesim/internal/regfile"
+
+// commit retires executed instructions in order from each context's
+// active list, up to the machine's commit width.  Only primary threads
+// and retiring ex-primaries commit; a context promoted from an
+// alternate is gated until its parent has committed the forking branch,
+// which preserves total program order (and store order) across the
+// hand-off.
+func (c *Core) commit() {
+	if len(c.ctxs) == 0 {
+		return
+	}
+	budget := c.mach.CommitWidth
+	n := len(c.ctxs)
+	stuck := 0
+	for budget > 0 && stuck < n {
+		t := c.ctxs[c.rrCommit%n]
+		if c.commitOne(t) {
+			budget--
+			stuck = 0
+		} else {
+			c.rrCommit++
+			stuck++
+		}
+	}
+}
+
+// commitOne tries to retire the oldest instruction of context t.
+func (c *Core) commitOne(t *Context) bool {
+	if t.state != CtxActive && t.state != CtxRetiring {
+		return false
+	}
+	if !t.isPrimary && t.state != CtxRetiring {
+		return false // speculative alternates never commit
+	}
+	if t.parentCtx >= 0 {
+		p := c.ctxs[t.parentCtx]
+		if p.state == CtxIdle {
+			t.parentCtx = -1 // parent fully drained earlier
+		} else if p.al.CommitSeq() <= t.parentSeq {
+			return false // wait for the fork branch to retire
+		} else {
+			t.parentCtx = -1
+		}
+	}
+	e, ok := t.al.Head()
+	if !ok || !e.Executed || e.ReadyAt > c.cycle {
+		return false
+	}
+
+	in := e.Inst
+	lp := t.part.prog
+
+	switch {
+	case in.IsStore():
+		lp.mem.Write(e.Addr&^7, e.Result)
+		// Retire the store-queue entry.
+		for i := range t.sq {
+			if t.sq[i].seq == e.Seq {
+				t.sq = append(t.sq[:i], t.sq[i+1:]...)
+				break
+			}
+		}
+	case in.IsBranch():
+		// The PHT/BTB are shared and untagged: cross-program aliasing
+		// is part of the modelled hardware (the confidence table is
+		// tagged because forking the wrong program's branch would
+		// corrupt the fork statistics rather than just a prediction).
+		c.pred.Commit(e.PC, in, e.Pred, e.Taken, e.NextPC)
+		if in.IsCondBranch() {
+			c.conf.Update(c.tagAddr(lp.idx, e.PC), e.Pred.GHist, e.Taken == e.PredTaken)
+		}
+	}
+
+	if e.OldMap != regfile.NoReg {
+		c.rf.Release(e.OldMap)
+		e.OldMap = regfile.NoReg
+	}
+	if e.Reused && e.ReuseSrc >= 0 && e.ReuseSrc < len(c.ctxs) {
+		if c.ctxs[e.ReuseSrc].outstandingReuse > 0 {
+			c.ctxs[e.ReuseSrc].outstandingReuse--
+		}
+	}
+
+	t.al.CommitHead()
+	c.Stats.Committed++
+	lp.committed++
+	if lp.idx < len(c.Stats.PerProgram) {
+		c.Stats.PerProgram[lp.idx]++
+	}
+
+	if c.CommitHook != nil {
+		c.CommitHook(CommitInfo{
+			Program: lp.idx,
+			Ctx:     t.id,
+			PC:      e.PC,
+			Inst:    in,
+			Result:  e.Result,
+			Addr:    e.Addr,
+			Taken:   e.Taken,
+			Reused:  e.Reused,
+		})
+	}
+
+	// Release children gated on this entry.
+	for _, cc := range c.ctxs {
+		if cc != t && cc.state != CtxIdle && cc.parentCtx == t.id && cc.parentSeq < t.al.CommitSeq() {
+			cc.parentCtx = -1
+		}
+	}
+
+	if in.IsHalt() && !lp.halted {
+		c.haltProgram(t.part)
+	}
+
+	// A retiring ex-primary that has drained becomes a spare.
+	if t.state == CtxRetiring && t.al.InFlight() == 0 {
+		c.killContext(t)
+	}
+	return true
+}
+
+// haltProgram stops a partition whose program committed its halt.
+func (c *Core) haltProgram(p *Partition) {
+	p.prog.halted = true
+	p.done = true
+	c.haltedPrograms++
+	for _, id := range p.ctxIDs {
+		t := c.ctxs[id]
+		if t.state == CtxIdle {
+			continue
+		}
+		if t.isPrimary {
+			// Keep the primary parked (its map holds the final
+			// architectural state) but stop all activity.
+			t.fetchHalted = true
+			t.fq = t.fq[:0]
+			t.stream = nil
+			continue
+		}
+		c.killContext(t)
+	}
+}

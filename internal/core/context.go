@@ -1,0 +1,215 @@
+package core
+
+import (
+	"recyclesim/internal/alist"
+	"recyclesim/internal/bpred"
+	"recyclesim/internal/isa"
+	"recyclesim/internal/program"
+	"recyclesim/internal/recycle"
+	"recyclesim/internal/regfile"
+)
+
+// CtxState is a hardware context's lifecycle state.
+type CtxState uint8
+
+// Context states.  The recycle architecture's key addition over TME is
+// CtxInactive: "An inactive context has finished executing, but the
+// active list and registers have not been freed, making it available
+// for recycling."
+const (
+	// CtxIdle: no thread; registers and active list free.
+	CtxIdle CtxState = iota
+	// CtxActive: executing the primary or an alternate path.
+	CtxActive
+	// CtxDraining: alternate whose forking branch resolved (correctly
+	// predicted) but which continues fetching per the §5.2 fetch/nostop
+	// policies until it hits the alternate-path instruction limit.
+	CtxDraining
+	// CtxInactive: finished executing; trace retained for recycling.
+	CtxInactive
+	// CtxRetiring: ex-primary draining its pre-fork instructions after
+	// a mispredict promoted its alternate; no fetch, commits only.
+	CtxRetiring
+)
+
+// String names the state for diagnostics.
+func (s CtxState) String() string {
+	switch s {
+	case CtxIdle:
+		return "idle"
+	case CtxActive:
+		return "active"
+	case CtxDraining:
+		return "draining"
+	case CtxInactive:
+		return "inactive"
+	case CtxRetiring:
+		return "retiring"
+	}
+	return "ctx?"
+}
+
+// fqEntry is one fetched, decoded instruction waiting for rename.
+type fqEntry struct {
+	pc        uint64
+	inst      isa.Inst
+	pred      bpred.Pred
+	predTaken bool
+	predTgt   uint64
+	readyAt   uint64 // cycle it clears decode and may rename
+	postMerge bool   // fetched beyond an in-progress recycle stream
+}
+
+// sqEntry is one in-flight store in a context's store queue.  Stores
+// issue in two phases like real hardware: address generation as soon as
+// the base register is ready (addrOK), data capture when the data
+// register arrives (valOK).  Loads disambiguate against addrOK stores
+// and forward only from valOK ones.
+type sqEntry struct {
+	seq    uint64
+	addr   uint64
+	val    uint64
+	addrOK bool
+	valOK  bool
+}
+
+// streamItem is one instruction of a recycle stream: a snapshot of an
+// active-list entry taken when the merge was detected.  srcSeq points
+// back at the live source entry so reuse can consult its current state.
+//
+// Branch items also carry the prediction assigned when the stream was
+// built: the paper's merge mechanism runs the trace through the branch
+// predictor up front ("the global history register used for branch
+// prediction is then updated with that prediction"), stopping the
+// stream at the first disagreement, so post-stream fetch sees a
+// complete speculative history.
+type streamItem struct {
+	pc         uint64
+	inst       isa.Inst
+	srcSeq     uint64
+	traceTaken bool   // direction the trace followed (branches)
+	traceTgt   uint64 // target the trace followed (branches)
+	pred       bpred.Pred
+}
+
+// recycleStream feeds snapshot instructions into a consumer thread's
+// rename stage.
+type recycleStream struct {
+	items  []streamItem
+	pos    int
+	srcCtx int  // source context for reuse lookups; -1 disables reuse
+	back   bool // backward-branch merge (reuse disallowed, §3.5)
+	nextPC uint64
+	// preDrain counts fetched instructions already queued ahead of the
+	// stream; they must clear rename before stream items inject
+	// ("subsequent instructions will come from the alternate active
+	// list once the prior fetched instructions ... have cleared the
+	// rename stage").
+	preDrain int
+	respawn  bool
+}
+
+func (s *recycleStream) done() bool { return s.pos >= len(s.items) }
+
+// forkPath records per-alternate-path statistics accumulated between
+// spawn and deletion (Table 1 columns 4-7).
+type forkPath struct {
+	live      bool
+	usedTME   bool
+	recycled  bool
+	respawned bool
+	merges    int
+}
+
+// Context is one hardware context of the SMT/TME machine.
+type Context struct {
+	id    int
+	part  *Partition
+	state CtxState
+
+	isPrimary bool
+
+	// Fetch state.
+	fetchPC         uint64
+	fetchStallUntil uint64
+	fetchHalted     bool
+	altCapped       bool // alternate hit the path-length limit
+	fq              []fqEntry
+
+	// Rename state.
+	hasMap bool
+	mapTab [isa.NumRegs]regfile.PhysReg
+	al     *alist.List
+	mp     recycle.MergePoints
+
+	// Store queue (program order, uncommitted stores).
+	sq []sqEntry
+
+	// Speculative ancestry: this context's first instruction follows
+	// parent's entry parentSeq (the forking branch).  Commit is gated
+	// until the parent commits that entry.
+	parentCtx int
+	parentSeq uint64
+
+	// Alternate-path bookkeeping.
+	pathLen  int    // instructions fetched down this alternate path
+	spawnPC  uint64 // first PC of the path
+	path     forkPath
+	resolved bool // forking branch has resolved
+
+	// Recycle consumption.
+	stream *recycleStream
+
+	// Reuse gating: uncommitted primary entries currently reusing this
+	// context's register mappings (§3.5 reclaim constraint).
+	outstandingReuse int
+
+	lruTick uint64
+}
+
+func newContext(id int, alSize int) *Context {
+	c := &Context{id: id, al: alist.New(alSize), parentCtx: -1}
+	for i := range c.mapTab {
+		c.mapTab[i] = regfile.NoReg
+	}
+	return c
+}
+
+// mapOf returns the physical mapping of a logical register (NoReg for
+// the hardwired zero register).
+func (t *Context) mapOf(r isa.Reg) regfile.PhysReg {
+	if r == isa.RegZero {
+		return regfile.NoReg
+	}
+	return t.mapTab[r]
+}
+
+// icount approximates the number of this context's instructions in the
+// front half of the pipeline; the fetch and recycle priority policies
+// order threads by it (§3.3).
+func (t *Context) icount(inIQ int) int { return len(t.fq) + inIQ }
+
+// fqRoom reports how many more fetched instructions fit.
+func (t *Context) fqRoom(cap int) int { return cap - len(t.fq) }
+
+// Partition is a group of contexts serving one program: one primary
+// thread plus spare contexts for alternate paths (the MSB partitioning
+// of §2).
+type Partition struct {
+	id      int
+	prog    *loadedProgram
+	primary int   // context id of the primary thread
+	ctxIDs  []int // all contexts in this partition
+	mask    uint16
+	done    bool
+}
+
+// loadedProgram is one program plus its architectural memory and
+// accounting.
+type loadedProgram struct {
+	idx       int
+	prog      *program.Program
+	mem       *program.Memory
+	committed uint64
+	halted    bool
+}

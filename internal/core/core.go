@@ -1,0 +1,384 @@
+// Package core implements the cycle-level simulator of the paper's
+// machine: a wide simultaneous multithreading (SMT) processor extended
+// with threaded multipath execution (TME) and the instruction
+// recycling, reuse, and re-spawning mechanisms of §3.
+//
+// The simulator is execution-driven: physical registers carry real
+// values, wrong paths and alternate paths genuinely execute, and the
+// committed instruction stream of every configuration is expected to
+// match the golden in-order emulator exactly (the test suite checks
+// this).  The model is single-threaded and fully deterministic.
+package core
+
+import (
+	"fmt"
+
+	"recyclesim/internal/alist"
+	"recyclesim/internal/bpred"
+	"recyclesim/internal/cache"
+	"recyclesim/internal/confidence"
+	"recyclesim/internal/config"
+	"recyclesim/internal/fu"
+	"recyclesim/internal/iq"
+	"recyclesim/internal/isa"
+	"recyclesim/internal/program"
+	"recyclesim/internal/recycle"
+	"recyclesim/internal/regfile"
+	"recyclesim/internal/stats"
+)
+
+const (
+	fetchQueueCap   = 32
+	redirectPenalty = 2  // extra front-end repair cycles after a mispredict
+	mdbCapacity     = 64 // Memory Disambiguation Buffer entries
+)
+
+// CommitInfo describes one committed instruction; tests use the hook to
+// co-simulate against the golden emulator.
+type CommitInfo struct {
+	Program int
+	Ctx     int
+	PC      uint64
+	Inst    isa.Inst
+	Result  uint64
+	Addr    uint64
+	Taken   bool
+	Reused  bool
+}
+
+// Core is the simulated processor.
+type Core struct {
+	mach config.Machine
+	feat config.Features
+
+	cycle uint64
+
+	rf      *regfile.File
+	pred    *bpred.Predictor
+	conf    *confidence.Estimator
+	mem     *cache.Hierarchy
+	iqInt   *iq.Queue
+	iqFP    *iq.Queue
+	fus     *fu.Pool
+	written *recycle.WrittenBits
+	mdb     *recycle.MDB
+
+	ctxs  []*Context
+	parts []*Partition
+	progs []*loadedProgram
+
+	// In-flight executions awaiting completion, kept sorted by ReadyAt
+	// lazily (scanned each cycle; sizes are small).
+	exec []*alist.Entry
+
+	// Stores whose addresses have been generated but whose data has
+	// not arrived yet (second issue phase).
+	pendingSt []*alist.Entry
+
+	rrCommit int // round-robin pointer for commit bandwidth
+
+	Stats *stats.Sim
+
+	// CommitHook, when set, observes every committed instruction.
+	CommitHook func(CommitInfo)
+
+	// debugTrace, when non-nil, receives pipeline event strings (used
+	// only by the test suite's divergence debugging).
+	debugTrace func(string)
+
+	haltedPrograms int
+}
+
+// New builds a core running the given programs (one partition each).
+// The number of programs must divide the context count evenly enough
+// that every program gets at least one context.
+func New(mach config.Machine, feat config.Features, progs []*program.Program) (*Core, error) {
+	if err := mach.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("core: no programs")
+	}
+	if len(progs) > mach.Contexts {
+		return nil, fmt.Errorf("core: %d programs exceed %d contexts", len(progs), mach.Contexts)
+	}
+	if feat.TME && feat.AltLimit <= 0 {
+		return nil, fmt.Errorf("core: TME enabled with non-positive AltLimit")
+	}
+
+	intRegs := isa.NumIntRegs*mach.Contexts + mach.ExtraRegs
+	fpRegs := isa.NumFPRegs*mach.Contexts + mach.ExtraRegs
+
+	c := &Core{
+		mach:    mach,
+		feat:    feat,
+		rf:      regfile.New(intRegs, fpRegs),
+		pred:    bpred.New(bpred.Default(mach.Contexts)),
+		conf:    confidence.New(confidence.Default()),
+		mem:     cache.NewHierarchy(cache.DefaultHierarchy(mach.CacheScale)),
+		iqInt:   iq.New(mach.IQInt),
+		iqFP:    iq.New(mach.IQFP),
+		fus:     fu.New(fu.Config{IntUnits: mach.IntUnits, LSUnits: mach.LSUnits, FPUnits: mach.FPUnits}),
+		written: recycle.NewWrittenBits(mach.Contexts),
+		mdb:     recycle.NewMDB(mdbCapacity),
+		Stats:   &stats.Sim{},
+	}
+
+	for i := 0; i < mach.Contexts; i++ {
+		c.ctxs = append(c.ctxs, newContext(i, mach.ActiveList))
+	}
+
+	// Partition contexts evenly among programs; leftovers go to the
+	// first partitions.
+	per := mach.Contexts / len(progs)
+	extra := mach.Contexts % len(progs)
+	next := 0
+	for pi, p := range progs {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		lp := &loadedProgram{idx: pi, prog: p, mem: program.NewMemory(p)}
+		c.progs = append(c.progs, lp)
+		n := per
+		if pi < extra {
+			n++
+		}
+		part := &Partition{id: pi, prog: lp, primary: next}
+		for k := 0; k < n; k++ {
+			part.ctxIDs = append(part.ctxIDs, next)
+			part.mask |= 1 << uint(next)
+			c.ctxs[next].part = part
+			next++
+		}
+		c.parts = append(c.parts, part)
+		c.startPrimary(c.ctxs[part.primary], p.Entry)
+	}
+	c.Stats.PerProgram = make([]uint64, len(progs))
+	return c, nil
+}
+
+// startPrimary initializes a context as a program's primary thread with
+// a fresh architectural register map.
+func (c *Core) startPrimary(t *Context, entry uint64) {
+	t.state = CtxActive
+	t.isPrimary = true
+	t.fetchPC = entry
+	t.hasMap = true
+	for l := 1; l < isa.NumRegs; l++ {
+		r, ok := c.rf.Alloc(isa.Reg(l).IsFP())
+		if !ok {
+			panic("core: register file too small for architectural state")
+		}
+		v := uint64(0)
+		if l == int(isa.RegSP) {
+			v = program.StackBase
+		}
+		c.rf.SetValue(r, v)
+		t.mapTab[l] = r
+	}
+}
+
+// Cycle advances the machine one clock.  Stage order is reverse
+// pipeline order so same-cycle effects flow naturally: results written
+// back this cycle can wake instructions issuing this cycle, and
+// redirects apply to the following fetch.
+func (c *Core) Cycle() {
+	c.cycle++
+	c.fus.BeginCycle(c.cycle)
+	c.commit()
+	c.complete()
+	c.issue()
+	c.rename()
+	c.fetch()
+	c.Stats.Cycles = c.cycle
+}
+
+// Run simulates until maxCommits instructions have committed in total,
+// every program has halted, or maxCycles elapses.  It returns the
+// accumulated statistics.
+func (c *Core) Run(maxCommits, maxCycles uint64) *stats.Sim {
+	for c.Stats.Committed < maxCommits && c.cycle < maxCycles &&
+		c.haltedPrograms < len(c.progs) {
+		c.Cycle()
+	}
+	return c.Stats
+}
+
+// CycleCount returns the cycles simulated so far.
+func (c *Core) CycleCount() uint64 { return c.cycle }
+
+// Done reports whether all programs have halted.
+func (c *Core) Done() bool { return c.haltedPrograms >= len(c.progs) }
+
+// tagAddr disambiguates program address spaces in the shared caches and
+// MDB.  The high bits make addresses unique per program; the low skew
+// (a 64-byte-aligned odd multiple of the line size) spreads the
+// programs' identical virtual layouts across cache sets and banks, as
+// distinct physical page mappings would on the real machine.
+func (c *Core) tagAddr(progIdx int, addr uint64) uint64 {
+	return addr + uint64(progIdx+1)<<44 + uint64(progIdx)*64*1245
+}
+
+// entrySources returns the physical source registers for inst renamed
+// in context t.
+func (t *Context) entrySources(inst isa.Inst) (s1, s2 regfile.PhysReg) {
+	s1, s2 = regfile.NoReg, regfile.NoReg
+	switch inst.Op {
+	case isa.OpNop, isa.OpHalt, isa.OpLi, isa.OpJ, isa.OpJal:
+		return
+	}
+	s1 = t.mapOf(inst.Rs1)
+	if inst.ReadsRs2() {
+		s2 = t.mapOf(inst.Rs2)
+	}
+	return
+}
+
+// undoEntry rolls back one squashed active-list entry: the current map
+// ref on the new mapping is released and the displaced mapping returns
+// to the map table.
+func (c *Core) undoEntry(t *Context, e *alist.Entry) {
+	if e.Inst.WritesReg() && e.NewMap != regfile.NoReg {
+		t.mapTab[e.Inst.Rd] = e.OldMap
+		c.rf.Release(e.NewMap)
+	}
+	if e.Reused && e.ReuseSrc >= 0 && e.ReuseSrc < len(c.ctxs) {
+		if c.ctxs[e.ReuseSrc].outstandingReuse > 0 {
+			c.ctxs[e.ReuseSrc].outstandingReuse--
+		}
+	}
+	c.Stats.Squashed++
+}
+
+// removeFromBack removes a squashed range from the instruction queues,
+// the execution list and the store queue.
+func (c *Core) removeFromBack(ctx int, fromSeq uint64) {
+	match := func(e *alist.Entry) bool { return e.Ctx == ctx && e.Seq >= fromSeq }
+	c.iqInt.RemoveIf(match)
+	c.iqFP.RemoveIf(match)
+	out := c.exec[:0]
+	for _, e := range c.exec {
+		if !match(e) {
+			out = append(out, e)
+		}
+	}
+	for i := len(out); i < len(c.exec); i++ {
+		c.exec[i] = nil
+	}
+	c.exec = out
+	ps := c.pendingSt[:0]
+	for _, e := range c.pendingSt {
+		if !match(e) {
+			ps = append(ps, e)
+		}
+	}
+	for i := len(ps); i < len(c.pendingSt); i++ {
+		c.pendingSt[i] = nil
+	}
+	c.pendingSt = ps
+
+	t := c.ctxs[ctx]
+	sq := t.sq[:0]
+	for _, s := range t.sq {
+		if s.seq < fromSeq {
+			sq = append(sq, s)
+		}
+	}
+	t.sq = sq
+}
+
+func (c *Core) trace(format string, args ...interface{}) {
+	if c.debugTrace != nil {
+		c.debugTrace(fmt.Sprintf(format, args...))
+	}
+}
+
+// squashFrom removes every instruction in ctx with Seq >= seq, plus any
+// child contexts forked from the squashed range (recursively).
+func (c *Core) squashFrom(ctx int, seq uint64) {
+	c.trace("cyc=%d squash ctx=%d from=%d tail=%d", c.cycle, ctx, seq, c.ctxs[ctx].al.TailSeq())
+	t := c.ctxs[ctx]
+	// Children forked off squashed branches die entirely.
+	for _, cc := range c.ctxs {
+		if cc.state != CtxIdle && cc != t && cc.parentCtx == ctx && cc.parentSeq >= seq {
+			c.killContext(cc)
+		}
+	}
+	t.al.SquashFrom(seq, func(e *alist.Entry) { c.undoEntry(t, e) })
+	t.mp.DropFrom(seq)
+	c.removeFromBack(ctx, seq)
+	// Any in-progress recycle stream and queued fetches are stale.
+	t.stream = nil
+	t.fq = t.fq[:0]
+	t.fetchHalted = false
+}
+
+// releaseMapRefs drops all register references held by the context's
+// current map table.
+func (c *Core) releaseMapRefs(t *Context) {
+	if !t.hasMap {
+		return
+	}
+	for l := 1; l < isa.NumRegs; l++ {
+		if t.mapTab[l] != regfile.NoReg {
+			c.rf.Release(t.mapTab[l])
+			t.mapTab[l] = regfile.NoReg
+		}
+	}
+	t.hasMap = false
+}
+
+// finishPath closes out a fork-path statistics record.
+func (c *Core) finishPath(t *Context) {
+	if !t.path.live {
+		return
+	}
+	c.Stats.ForksDeleted++
+	if t.path.usedTME {
+		c.Stats.ForksUsedTME++
+	}
+	if t.path.recycled {
+		c.Stats.ForksRecycled++
+		c.Stats.AltMergeTotal += uint64(t.path.merges)
+	}
+	if t.path.respawned {
+		c.Stats.ForksRespawned++
+	}
+	t.path = forkPath{}
+}
+
+// killContext fully reclaims a context: every uncommitted entry is
+// squashed, retained history dropped, and all register references
+// (active list and map table) released.  The context returns to idle.
+func (c *Core) killContext(t *Context) {
+	if t.state == CtxIdle {
+		return
+	}
+	c.trace("cyc=%d kill ctx=%d state=%v prim=%v parent=%d/%d", c.cycle, t.id, t.state, t.isPrimary, t.parentCtx, t.parentSeq)
+	if t.isPrimary && !t.part.done {
+		c.trace("cyc=%d KILLING LIVE PRIMARY ctx=%d", c.cycle, t.id)
+	}
+	// Recursively kill this context's own children first.
+	for _, cc := range c.ctxs {
+		if cc != t && cc.state != CtxIdle && cc.parentCtx == t.id {
+			c.killContext(cc)
+		}
+	}
+	t.al.SquashAll(func(e *alist.Entry) { c.undoEntry(t, e) })
+	c.removeFromBack(t.id, 0)
+	c.releaseMapRefs(t)
+	c.finishPath(t)
+	t.al.Reset()
+	t.mp.Invalidate()
+	t.fq = t.fq[:0]
+	t.sq = t.sq[:0]
+	t.stream = nil
+	t.state = CtxIdle
+	t.isPrimary = false
+	t.parentCtx = -1
+	t.fetchHalted = false
+	t.altCapped = false
+	t.resolved = false
+	t.pathLen = 0
+	t.outstandingReuse = 0
+}

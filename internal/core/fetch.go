@@ -1,0 +1,364 @@
+package core
+
+import (
+	"sort"
+
+	"recyclesim/internal/config"
+	"recyclesim/internal/isa"
+)
+
+// fetch implements the ICOUNT.X.Y fetch stage with TME's primary-first
+// priority and the recycling merge-point checks of §3.4: "Each cycle,
+// when the primary thread prepares to fetch, it will compare its fetch
+// PC ... with the merge points of itself and its alternate contexts.
+// ... If the match is on the initial PC, then there is no need to fetch
+// from the instruction cache for this thread, and another thread is
+// sought for fetching."
+func (c *Core) fetch() {
+	cands := c.fetchCandidates()
+	threads := 0
+	width := c.mach.FetchWidth
+	lineBytes := uint64(64)
+
+	for _, t := range cands {
+		if threads >= c.mach.FetchThreads || width <= 0 {
+			break
+		}
+		// Merge detection consumes no fetch slot.
+		if c.feat.Recycle && t.stream == nil && c.tryMerge(t, t.fetchPC) {
+			continue
+		}
+
+		threads++
+		asid := t.part.prog.idx
+		lat, hit := c.mem.AccessI(c.cycle, c.tagAddr(asid, t.fetchPC))
+		if !hit {
+			// I-cache miss: the thread's fetch stalls until the fill
+			// completes; the slot is consumed.
+			t.fetchStallUntil = c.cycle + uint64(lat)
+			continue
+		}
+		readyAt := c.cycle + uint64(lat) + uint64(c.mach.FrontEndLat)
+
+		pc := t.fetchPC
+		line := pc / lineBytes
+		n := 0
+		merged := false
+		for n < c.mach.FetchBlock && width > 0 && t.fqRoom(fetchQueueCap) > 0 {
+			if pc/lineBytes != line {
+				break // cache-line boundary ends the block
+			}
+			// Mid-block merge: "instructions are fetched up to the
+			// matching instruction, and recycling begins after it."
+			if c.feat.Recycle && t.stream == nil && n > 0 && c.tryMerge(t, pc) {
+				merged = true
+				break
+			}
+			in := t.part.prog.prog.FetchInst(pc)
+			if in.IsHalt() {
+				t.pushFetch(pc, in, readyAt)
+				t.fetchHalted = true
+				n++
+				width--
+				if t.state == CtxDraining {
+					// A draining alternate that runs into the end of
+					// the program has nothing left to extend.
+					c.makeInactive(t)
+				}
+				break
+			}
+			if c.altLimited(t, n) {
+				break
+			}
+			if in.IsBranch() {
+				pr := c.pred.Lookup(t.id, pc, in)
+				c.pred.SpecUpdate(t.id, in, pc, pr)
+				fe := t.pushFetch(pc, in, readyAt)
+				fe.pred = pr
+				fe.predTaken = pr.Taken
+				fe.predTgt = pr.Target
+				n++
+				width--
+				if pr.Taken {
+					pc = pr.Target
+					break // a taken branch ends the fetch block
+				}
+				pc += isa.InstBytes
+				continue
+			}
+			t.pushFetch(pc, in, readyAt)
+			n++
+			width--
+			pc += isa.InstBytes
+		}
+		if !merged {
+			// (On a mid-block merge, startStream already pointed the
+			// fetch PC past the recycled trace.)
+			t.fetchPC = pc
+		}
+		if t.state == CtxActive && !t.isPrimary || t.state == CtxDraining {
+			t.pathLen += n
+			if t.pathLen >= c.feat.AltLimit {
+				c.altPathCap(t)
+			}
+		}
+		c.Stats.Fetched += uint64(n)
+	}
+}
+
+// pushFetch appends one decoded instruction to the context's fetch
+// queue.
+func (t *Context) pushFetch(pc uint64, in isa.Inst, readyAt uint64) *fqEntry {
+	t.fq = append(t.fq, fqEntry{
+		pc:        pc,
+		inst:      in,
+		readyAt:   readyAt,
+		postMerge: t.stream != nil,
+	})
+	return &t.fq[len(t.fq)-1]
+}
+
+// altLimited reports whether an alternate path must stop fetching
+// because it reached the §5.2 instruction limit.
+func (c *Core) altLimited(t *Context, fetchedThisCycle int) bool {
+	if t.isPrimary || t.state == CtxRetiring {
+		return false
+	}
+	if !c.feat.TME {
+		return false
+	}
+	return t.pathLen+fetchedThisCycle >= c.feat.AltLimit
+}
+
+// altPathCap transitions an alternate that hit its fetch limit: active
+// alternates simply stop fetching; draining ones become inactive.
+func (c *Core) altPathCap(t *Context) {
+	switch t.state {
+	case CtxActive:
+		t.altCapped = true
+	case CtxDraining:
+		c.makeInactive(t)
+	}
+}
+
+// fetchCandidates orders fetchable contexts: primary threads first by
+// ICOUNT, then alternates by ICOUNT — the TME-modified ICOUNT policy
+// of [18] referenced in §3.3.
+func (c *Core) fetchCandidates() []*Context {
+	var prim, alt []*Context
+	for _, t := range c.ctxs {
+		if !c.canFetch(t) {
+			continue
+		}
+		if t.isPrimary {
+			prim = append(prim, t)
+		} else {
+			alt = append(alt, t)
+		}
+	}
+	ic := func(t *Context) int {
+		return t.icount(c.iqInt.CountCtx(t.id) + c.iqFP.CountCtx(t.id))
+	}
+	sort.SliceStable(prim, func(i, j int) bool { return ic(prim[i]) < ic(prim[j]) })
+	sort.SliceStable(alt, func(i, j int) bool { return ic(alt[i]) < ic(alt[j]) })
+	return append(prim, alt...)
+}
+
+func (c *Core) canFetch(t *Context) bool {
+	switch t.state {
+	case CtxActive:
+	case CtxDraining:
+		// Only the fetch/nostop policies keep fetching after the
+		// forking branch resolves.
+		if c.feat.AltPolicy == config.AltStop {
+			return false
+		}
+	default:
+		return false
+	}
+	if t.part.done || t.fetchHalted || t.altCapped {
+		return false
+	}
+	if t.fetchStallUntil > c.cycle {
+		return false
+	}
+	return t.fqRoom(fetchQueueCap) > 0
+}
+
+// tryMerge checks pc against the merge points visible to thread t and,
+// on a hit, snapshots the matched trace into a recycle stream.  Primary
+// threads see their spare contexts' first-PC points plus their own
+// first-PC and backward points; other fetching threads see only their
+// own backward point.
+func (c *Core) tryMerge(t *Context, pc uint64) bool {
+	if t.part.done {
+		return false
+	}
+	// Spare contexts' traces (alternate or inactive), primaries only.
+	if t.isPrimary {
+		for _, id := range t.part.ctxIDs {
+			src := c.ctxs[id]
+			if src == t {
+				continue
+			}
+			if src.state != CtxActive && src.state != CtxDraining && src.state != CtxInactive {
+				continue
+			}
+			if seq, back, ok := src.mp.Match(pc); ok && !back {
+				return c.startStream(t, src, seq, false)
+			}
+		}
+		// The primary's own merge point: the backward-branch (loop)
+		// point.  (The paper also stores a first-instruction PC per
+		// context, but for a primary thread whose ring retains committed
+		// history that point would trigger pathological whole-window
+		// replays; the useful primary-to-primary case the paper reports
+		// is the backward-branch one, so that is what we match.)
+		if seq, back, ok := t.mp.Match(pc); ok && back {
+			return c.startStream(t, t, seq, true)
+		}
+		return false
+	}
+	// Non-primary fetching threads check their own backward point only.
+	if seq, back, ok := t.mp.Match(pc); ok && back {
+		return c.startStream(t, t, seq, true)
+	}
+	return false
+}
+
+// startStream snapshots src's active list from seq to its tail into a
+// recycle stream consumed by t.  It returns false when the trace is
+// empty (nothing to recycle).
+//
+// The whole trace is run through t's branch predictor here: each branch
+// item records its prediction and the speculative history/return-stack
+// state advances as if the trace had been fetched.  At the first
+// disagreement between the current prediction and the direction the
+// trace followed, the stream is truncated after the disagreeing branch
+// and fetch resumes on the newly predicted path (§3.4's chosen method).
+func (c *Core) startStream(t, src *Context, seq uint64, back bool) bool {
+	items := c.snapshotTrace(src, seq)
+	if len(items) == 0 {
+		return false
+	}
+	// Bound the injected trace to half the consumer's window so a
+	// merge cannot wedge a small active list behind a wall of
+	// deep-speculative recycled instructions (rename backpressure
+	// handles the rest: stream items stall when the list is full).
+	if max := t.al.Capacity() / 2; len(items) > max {
+		items = items[:max]
+	}
+	srcCtx := src.id
+	if src == t || back {
+		srcCtx = -1 // reuse is alternate→primary only (§3.5)
+	}
+	stream := c.buildStream(t, items, srcCtx, back)
+	stream.preDrain = len(t.fq)
+	t.stream = stream
+	c.trace("cyc=%d merge ctx=%d src=%d back=%v pc=0x%x items=%d next=0x%x preDrain=%d",
+		c.cycle, t.id, src.id, back, items[0].pc, len(t.stream.items), t.stream.nextPC, t.stream.preDrain)
+	// "Fetching immediately continues from where recycling will
+	// complete."
+	t.fetchPC = t.stream.nextPC
+	t.fetchHalted = false
+
+	c.Stats.Merges++
+	if back {
+		c.Stats.BackMerges++
+	}
+	if src != t {
+		src.path.recycled = true
+		src.path.merges++
+		src.lruTick = c.cycle
+	}
+	return true
+}
+
+// buildStream runs a snapshotted trace through consumer t's branch
+// predictor: every branch item records its prediction, the speculative
+// history and return stack advance as if the trace had been fetched,
+// and the stream truncates after the first branch whose current
+// prediction disagrees with the trace, with fetch redirected to the
+// newly predicted path.
+func (c *Core) buildStream(t *Context, items []streamItem, srcCtx int, back bool) *recycleStream {
+	nextPC := traceNext(items[len(items)-1])
+	for i := range items {
+		it := &items[i]
+		if !it.inst.IsBranch() {
+			continue
+		}
+		pr := c.pred.Lookup(t.id, it.pc, it.inst)
+		if c.feat.TrustTrace {
+			// §3.4's former method: "the branch prediction previously
+			// used for the recycled instructions can be used" — follow
+			// the trace unconditionally and push its directions into
+			// the history.
+			pr.Taken = it.traceTaken
+			if it.traceTaken {
+				pr.Target = it.traceTgt
+			}
+			it.pred = pr
+			c.pred.SpecUpdate(t.id, it.inst, it.pc, pr)
+			continue
+		}
+		it.pred = pr
+		mismatch := false
+		if it.inst.IsCondBranch() {
+			mismatch = pr.Taken != it.traceTaken
+		} else if pr.Target != it.traceTgt {
+			mismatch = true
+		}
+		c.pred.SpecUpdate(t.id, it.inst, it.pc, pr)
+		if mismatch {
+			items = items[:i+1]
+			if pr.Taken {
+				nextPC = pr.Target
+			} else {
+				nextPC = it.pc + isa.InstBytes
+			}
+			break
+		}
+	}
+	return &recycleStream{
+		items:  items,
+		srcCtx: srcCtx,
+		back:   back,
+		nextPC: nextPC,
+	}
+}
+
+// snapshotTrace copies src's retained active-list entries from seq to
+// the tail into stream items.
+func (c *Core) snapshotTrace(src *Context, seq uint64) []streamItem {
+	var items []streamItem
+	for s := seq; s < src.al.TailSeq(); s++ {
+		e, ok := src.al.At(s)
+		if !ok {
+			continue
+		}
+		it := streamItem{pc: e.PC, inst: e.Inst, srcSeq: e.Seq}
+		if e.Inst.IsBranch() {
+			it.traceTaken = e.TraceTaken()
+			if e.Executed {
+				it.traceTgt = e.NextPC
+			} else if e.PredTaken {
+				it.traceTgt = e.PredTarget
+			} else {
+				it.traceTgt = e.PC + isa.InstBytes
+			}
+			if !it.traceTaken {
+				it.traceTgt = e.PC + isa.InstBytes
+			}
+		}
+		items = append(items, it)
+	}
+	return items
+}
+
+// traceNext computes the PC following the last instruction of a trace.
+func traceNext(last streamItem) uint64 {
+	if last.inst.IsBranch() && last.traceTaken {
+		return last.traceTgt
+	}
+	return last.pc + isa.InstBytes
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"sort"
+
+	"recyclesim/internal/alist"
+	"recyclesim/internal/iq"
+	"recyclesim/internal/isa"
+	"recyclesim/internal/regfile"
+)
+
+// issue selects ready instructions from the queues oldest-first and
+// sends them to the functional units.  Execution is functional-at-issue
+// (the operand values are read and the result computed immediately);
+// the result is published to dependents at ReadyAt, modelling a full
+// bypass network, and branches take effect when they complete.
+func (c *Core) issue() {
+	c.issueQueue(c.iqInt)
+	c.issueQueue(c.iqFP)
+}
+
+func (c *Core) issueQueue(q *iq.Queue) {
+	q.Scan(func(e *alist.Entry) bool {
+		if e.NoIssue {
+			return true // cancelled by an alternate-path policy
+		}
+		in := e.Inst
+		// Stores issue on address readiness alone (two-phase issue);
+		// everything else needs all operands.
+		if !c.srcReady(e.Src1) {
+			return false
+		}
+		if !in.IsStore() && !c.srcReady(e.Src2) {
+			return false
+		}
+		t := c.ctxs[e.Ctx]
+		if in.IsLoad() && !c.loadMayIssue(t, e) {
+			return false
+		}
+		if !c.fus.TryIssue(in.Class(), in.Latency()) {
+			return false
+		}
+		c.execute(t, e)
+		return true
+	})
+}
+
+func (c *Core) srcReady(r regfile.PhysReg) bool {
+	return r == regfile.NoReg || c.rf.Ready(r)
+}
+
+func (c *Core) srcValue(r regfile.PhysReg) uint64 {
+	if r == regfile.NoReg {
+		return 0
+	}
+	return c.rf.Value(r)
+}
+
+// loadMayIssue applies memory disambiguation: a load waits until every
+// older store in its own context — and, for alternate paths, the
+// parent chain's stores older than the fork point — has a generated
+// address, and until any address-matching older store has its data.
+func (c *Core) loadMayIssue(t *Context, e *alist.Entry) bool {
+	// The address is computable now (Src1 is ready); use it to decide
+	// whether a matching older store's data gates this load.
+	addr := isa.EffAddr(e.Inst, c.srcValue(e.Src1)) &^ 7
+	check := func(sq []sqEntry, beforeSeq uint64) bool {
+		for i := range sq {
+			s := &sq[i]
+			if s.seq >= beforeSeq {
+				continue
+			}
+			if !s.addrOK {
+				return false // unknown older address: wait
+			}
+			if s.addr == addr && !s.valOK {
+				return false // will forward from it: wait for data
+			}
+		}
+		return true
+	}
+	if !check(t.sq, e.Seq) {
+		return false
+	}
+	ctx, limit := t.parentCtx, t.parentSeq
+	for hops := 0; ctx >= 0 && hops < len(c.ctxs); hops++ {
+		p := c.ctxs[ctx]
+		if !check(p.sq, limit+1) {
+			return false
+		}
+		ctx, limit = p.parentCtx, p.parentSeq
+	}
+	return true
+}
+
+// loadValue resolves a load's value: newest matching store in the
+// context's own store queue, then the parent chain's pre-fork stores,
+// then architectural memory.
+func (c *Core) loadValue(t *Context, seq uint64, addr uint64) (uint64, bool) {
+	addr &^= 7
+	best := func(sq []sqEntry, beforeSeq uint64) (uint64, bool) {
+		var v uint64
+		found := false
+		var bestSeq uint64
+		for i := range sq {
+			s := &sq[i]
+			if s.valOK && s.seq < beforeSeq && s.addr == addr &&
+				(!found || s.seq >= bestSeq) {
+				v, found, bestSeq = s.val, true, s.seq
+			}
+		}
+		return v, found
+	}
+	if v, ok := best(t.sq, seq); ok {
+		return v, true
+	}
+	ctx, limit := t.parentCtx, t.parentSeq
+	for hops := 0; ctx >= 0 && hops < len(c.ctxs); hops++ {
+		p := c.ctxs[ctx]
+		if v, ok := best(p.sq, limit+1); ok {
+			return v, true
+		}
+		ctx, limit = p.parentCtx, p.parentSeq
+	}
+	return t.part.prog.mem.Read(addr), false
+}
+
+// execute computes an issued instruction functionally and schedules its
+// completion.
+func (c *Core) execute(t *Context, e *alist.Entry) {
+	in := e.Inst
+	s1 := c.srcValue(e.Src1)
+	s2 := c.srcValue(e.Src2)
+	lat := in.Latency()
+	e.Issued = true
+
+	switch {
+	case in.IsLoad():
+		e.Addr = isa.EffAddr(in, s1)
+		v, forwarded := c.loadValue(t, e.Seq, e.Addr)
+		e.Result = v
+		if !forwarded {
+			lat += c.mem.AccessD(c.cycle, c.tagAddr(t.part.prog.idx, e.Addr))
+		}
+	case in.IsStore():
+		// Phase one: address generation.  The MDB is invalidated here
+		// (as soon as the address is known) so no reuse can slip in
+		// between address generation and data arrival.
+		e.Addr = isa.EffAddr(in, s1)
+		for i := range t.sq {
+			if t.sq[i].seq == e.Seq {
+				t.sq[i].addr = e.Addr &^ 7
+				t.sq[i].addrOK = true
+				break
+			}
+		}
+		c.mdb.StoreTo(c.tagAddr(t.part.prog.idx, e.Addr&^7))
+		// Stores probe the data cache for timing (write allocate).
+		lat += c.mem.AccessD(c.cycle, c.tagAddr(t.part.prog.idx, e.Addr))
+		if !c.srcReady(e.Src2) {
+			// Data pending: park in phase two; complete() re-arms the
+			// store when the data register arrives.
+			c.pendingSt = append(c.pendingSt, e)
+			return
+		}
+		e.Result = s2
+		c.storeCaptureData(t, e)
+	case in.IsBranch():
+		e.Taken = isa.BranchTaken(in, s1, s2)
+		if e.Taken {
+			e.NextPC = isa.BranchTarget(in, s1)
+		} else {
+			e.NextPC = e.PC + isa.InstBytes
+		}
+		if in.WritesReg() {
+			e.Result = isa.Eval(in, e.PC, s1, s2)
+		}
+		lat += redirectPenalty // register-read depth before resolution
+	default:
+		e.Result = isa.Eval(in, e.PC, s1, s2)
+	}
+
+	e.ReadyAt = c.cycle + uint64(lat)
+	c.exec = append(c.exec, e)
+}
+
+// storeCaptureData records a store's data in the store queue (phase
+// two of store issue), enabling forwarding to younger loads.
+func (c *Core) storeCaptureData(t *Context, e *alist.Entry) {
+	for i := range t.sq {
+		if t.sq[i].seq == e.Seq {
+			t.sq[i].val = e.Result
+			t.sq[i].valOK = true
+			return
+		}
+	}
+}
+
+// complete retires finished executions: results are written back,
+// loads enter the MDB, stores invalidate it, and branches resolve.
+// Completions are processed in deterministic (ctx, seq) order; a
+// resolution may squash younger completions scheduled for the same
+// cycle, so each is revalidated before processing.
+func (c *Core) complete() {
+	// Phase-two stores: capture data once the source register arrives.
+	if len(c.pendingSt) > 0 {
+		rest := c.pendingSt[:0]
+		for _, e := range c.pendingSt {
+			if c.srcReady(e.Src2) {
+				t := c.ctxs[e.Ctx]
+				if live, ok := t.al.At(e.Seq); ok && live == e {
+					e.Result = c.srcValue(e.Src2)
+					c.storeCaptureData(t, e)
+					e.ReadyAt = c.cycle
+					c.exec = append(c.exec, e)
+				}
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		for i := len(rest); i < len(c.pendingSt); i++ {
+			c.pendingSt[i] = nil
+		}
+		c.pendingSt = rest
+	}
+
+	var due []*alist.Entry
+	rest := c.exec[:0]
+	for _, e := range c.exec {
+		if e.ReadyAt <= c.cycle {
+			due = append(due, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	for i := len(rest); i < len(c.exec); i++ {
+		c.exec[i] = nil
+	}
+	c.exec = rest
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].Ctx != due[j].Ctx {
+			return due[i].Ctx < due[j].Ctx
+		}
+		return due[i].Seq < due[j].Seq
+	})
+	for _, e := range due {
+		// Revalidate: a squash earlier in this cycle may have removed
+		// or recycled this active-list slot.
+		t := c.ctxs[e.Ctx]
+		live, ok := t.al.At(e.Seq)
+		if !ok || live != e || e.Executed || !e.Issued {
+			continue
+		}
+		c.completeEntry(t, e)
+	}
+}
+
+func (c *Core) completeEntry(t *Context, e *alist.Entry) {
+	e.Executed = true
+	in := e.Inst
+	if in.WritesReg() && e.NewMap != regfile.NoReg {
+		c.rf.SetValue(e.NewMap, e.Result)
+	}
+	asid := t.part.prog.idx
+	switch {
+	case in.IsLoad():
+		c.mdb.InsertLoad(c.tagAddr(asid, e.PC), c.tagAddr(asid, e.Addr&^7))
+	case in.IsStore():
+		// MDB invalidation already happened at address generation.
+	case in.IsBranch():
+		c.resolveBranch(t, e)
+	}
+}

@@ -1,0 +1,124 @@
+// Package emu implements the golden in-order functional emulator.  It
+// defines architecturally-correct execution of a single program and is
+// the oracle against which the out-of-order core is co-simulated: the
+// core's committed instruction stream must match the emulator's exactly
+// for every configuration (SMT, TME, recycling, reuse, respawning).
+package emu
+
+import (
+	"fmt"
+
+	"recyclesim/internal/isa"
+	"recyclesim/internal/program"
+)
+
+// Emulator executes one program's architectural state in order.
+type Emulator struct {
+	Prog *program.Program
+	Mem  *program.Memory
+
+	PC     uint64
+	Regs   [isa.NumRegs]uint64
+	Halted bool
+
+	// Retired counts instructions executed so far.
+	Retired uint64
+}
+
+// New returns an emulator at the program's entry with a fresh memory
+// image and the stack pointer initialized.
+func New(p *program.Program) *Emulator {
+	e := &Emulator{Prog: p, Mem: program.NewMemory(p), PC: p.Entry}
+	e.Regs[isa.RegSP] = program.StackBase
+	return e
+}
+
+// StepInfo describes one architecturally executed instruction; the
+// co-simulation compares these records against the core's commits.
+type StepInfo struct {
+	PC     uint64
+	Inst   isa.Inst
+	Result uint64 // register result, if Inst.WritesReg()
+	Addr   uint64 // effective address, if Inst.IsMem()
+	Taken  bool   // direction, if Inst.IsBranch()
+	Next   uint64 // next PC
+}
+
+// Step executes one instruction and returns what happened.  Stepping a
+// halted emulator is a no-op that reports the halt again.
+func (e *Emulator) Step() StepInfo {
+	in := e.Prog.FetchInst(e.PC)
+	info := StepInfo{PC: e.PC, Inst: in}
+	if e.Halted || in.IsHalt() {
+		e.Halted = true
+		info.Inst = isa.Inst{Op: isa.OpHalt}
+		info.Next = e.PC
+		return info
+	}
+
+	read := func(r isa.Reg) uint64 {
+		if r == isa.RegZero {
+			return 0
+		}
+		return e.Regs[r]
+	}
+	s1, s2 := read(in.Rs1), read(in.Rs2)
+	next := e.PC + isa.InstBytes
+
+	switch {
+	case in.IsLoad():
+		info.Addr = isa.EffAddr(in, s1)
+		info.Result = e.Mem.Read(info.Addr)
+		if in.Rd != isa.RegZero {
+			e.Regs[in.Rd] = info.Result
+		}
+	case in.IsStore():
+		info.Addr = isa.EffAddr(in, s1)
+		e.Mem.Write(info.Addr, s2)
+	case in.IsBranch():
+		info.Taken = isa.BranchTaken(in, s1, s2)
+		if in.WritesReg() {
+			info.Result = isa.Eval(in, e.PC, s1, s2)
+			e.Regs[in.Rd] = info.Result
+		}
+		if info.Taken {
+			next = isa.BranchTarget(in, s1)
+		}
+	default:
+		if in.WritesReg() {
+			info.Result = isa.Eval(in, e.PC, s1, s2)
+			e.Regs[in.Rd] = info.Result
+		}
+	}
+
+	e.PC = next
+	info.Next = next
+	e.Retired++
+	return info
+}
+
+// Run executes up to max instructions or until halt, returning the
+// number retired.
+func (e *Emulator) Run(max uint64) uint64 {
+	var n uint64
+	for n < max && !e.Halted {
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// Trace executes up to max instructions collecting StepInfo records.
+func (e *Emulator) Trace(max uint64) []StepInfo {
+	out := make([]StepInfo, 0, max)
+	for uint64(len(out)) < max && !e.Halted {
+		out = append(out, e.Step())
+	}
+	return out
+}
+
+// String summarizes the emulator state for debugging.
+func (e *Emulator) String() string {
+	return fmt.Sprintf("emu{%s pc=0x%x retired=%d halted=%v}",
+		e.Prog.Name, e.PC, e.Retired, e.Halted)
+}

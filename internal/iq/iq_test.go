@@ -1,0 +1,75 @@
+package iq
+
+import (
+	"testing"
+
+	"recyclesim/internal/alist"
+	"recyclesim/internal/isa"
+)
+
+func ent(ctx int, seq uint64) *alist.Entry {
+	return &alist.Entry{Ctx: ctx, Seq: seq, Inst: isa.Inst{Op: isa.OpAdd, Rd: 1}}
+}
+
+func TestPushFull(t *testing.T) {
+	q := New(2)
+	if !q.Push(ent(0, 0)) || !q.Push(ent(0, 1)) {
+		t.Fatal("push into non-full queue failed")
+	}
+	if q.Push(ent(0, 2)) {
+		t.Fatal("push into full queue succeeded")
+	}
+	if !q.Full() || q.Len() != 2 || q.Capacity() != 2 {
+		t.Errorf("len=%d cap=%d", q.Len(), q.Capacity())
+	}
+}
+
+func TestScanOrderAndRemoval(t *testing.T) {
+	q := New(8)
+	for i := 0; i < 5; i++ {
+		q.Push(ent(0, uint64(i)))
+	}
+	var seen []uint64
+	q.Scan(func(e *alist.Entry) bool {
+		seen = append(seen, e.Seq)
+		return e.Seq%2 == 0 // remove even seqs
+	})
+	if len(seen) != 5 || seen[0] != 0 || seen[4] != 4 {
+		t.Errorf("scan order = %v", seen)
+	}
+	if q.Len() != 2 {
+		t.Errorf("len after removal = %d", q.Len())
+	}
+	// Remaining entries keep their relative order.
+	var rest []uint64
+	q.Scan(func(e *alist.Entry) bool {
+		rest = append(rest, e.Seq)
+		return false
+	})
+	if rest[0] != 1 || rest[1] != 3 {
+		t.Errorf("rest = %v", rest)
+	}
+}
+
+func TestRemoveIfAndCountCtx(t *testing.T) {
+	q := New(8)
+	q.Push(ent(0, 0))
+	q.Push(ent(1, 0))
+	q.Push(ent(0, 1))
+	if q.CountCtx(0) != 2 || q.CountCtx(1) != 1 {
+		t.Errorf("counts = %d, %d", q.CountCtx(0), q.CountCtx(1))
+	}
+	removed := q.RemoveIf(func(e *alist.Entry) bool { return e.Ctx == 0 })
+	if removed != 2 || q.Len() != 1 || q.CountCtx(0) != 0 {
+		t.Errorf("removed=%d len=%d", removed, q.Len())
+	}
+}
+
+func TestForClass(t *testing.T) {
+	if ForClass(isa.ClassIntALU) || ForClass(isa.ClassLoad) || ForClass(isa.ClassBranch) {
+		t.Error("integer classes must go to the integer queue")
+	}
+	if !ForClass(isa.ClassFPAdd) || !ForClass(isa.ClassFPDiv) || !ForClass(isa.ClassFPCvt) {
+		t.Error("fp classes must go to the fp queue")
+	}
+}

@@ -1,0 +1,150 @@
+package isa
+
+import "math"
+
+// Eval computes the result of a register-writing, non-memory
+// instruction given its source operand values.  It is the single source
+// of execution semantics shared by the golden emulator and the
+// out-of-order core, which guarantees the two agree bit-for-bit.
+//
+// pc is the instruction's own PC (needed by OpJal).  Floating-point
+// values travel as math.Float64bits images.  Division by zero yields
+// zero (the hardware's trap path is out of scope and the workloads
+// never divide by zero, but the simulator must not panic on wrong-path
+// garbage operands).
+func Eval(inst Inst, pc uint64, s1, s2 uint64) uint64 {
+	switch inst.Op {
+	case OpAdd:
+		return s1 + s2
+	case OpSub:
+		return s1 - s2
+	case OpMul:
+		return uint64(int64(s1) * int64(s2))
+	case OpDiv:
+		if s2 == 0 {
+			return 0
+		}
+		return uint64(int64(s1) / int64(s2))
+	case OpRem:
+		if s2 == 0 {
+			return 0
+		}
+		return uint64(int64(s1) % int64(s2))
+	case OpAnd:
+		return s1 & s2
+	case OpOr:
+		return s1 | s2
+	case OpXor:
+		return s1 ^ s2
+	case OpSll:
+		return s1 << (s2 & 63)
+	case OpSrl:
+		return s1 >> (s2 & 63)
+	case OpSra:
+		return uint64(int64(s1) >> (s2 & 63))
+	case OpSlt:
+		if int64(s1) < int64(s2) {
+			return 1
+		}
+		return 0
+	case OpSltu:
+		if s1 < s2 {
+			return 1
+		}
+		return 0
+	case OpAddi:
+		return s1 + uint64(inst.Imm)
+	case OpAndi:
+		return s1 & uint64(inst.Imm)
+	case OpOri:
+		return s1 | uint64(inst.Imm)
+	case OpXori:
+		return s1 ^ uint64(inst.Imm)
+	case OpSlli:
+		return s1 << (uint64(inst.Imm) & 63)
+	case OpSrli:
+		return s1 >> (uint64(inst.Imm) & 63)
+	case OpSrai:
+		return uint64(int64(s1) >> (uint64(inst.Imm) & 63))
+	case OpSlti:
+		if int64(s1) < inst.Imm {
+			return 1
+		}
+		return 0
+	case OpLi:
+		return uint64(inst.Imm)
+	case OpJal:
+		return pc + InstBytes
+	case OpFadd:
+		return f64(f(s1) + f(s2))
+	case OpFsub:
+		return f64(f(s1) - f(s2))
+	case OpFmul:
+		return f64(f(s1) * f(s2))
+	case OpFdiv:
+		if f(s2) == 0 {
+			return 0
+		}
+		return f64(f(s1) / f(s2))
+	case OpFmov:
+		return s1
+	case OpFneg:
+		return f64(-f(s1))
+	case OpCvtIF:
+		return f64(float64(int64(s1)))
+	case OpCvtFI:
+		v := f(s1)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return uint64(int64(v))
+	case OpFlt:
+		if f(s1) < f(s2) {
+			return 1
+		}
+		return 0
+	case OpFeq:
+		if f(s1) == f(s2) {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func f(bits uint64) float64 { return math.Float64frombits(bits) }
+func f64(v float64) uint64  { return math.Float64bits(v) }
+
+// BranchTaken evaluates a conditional branch's direction from its
+// source operand values.  Unconditional transfers are always taken.
+func BranchTaken(inst Inst, s1, s2 uint64) bool {
+	switch inst.Op {
+	case OpBeq:
+		return s1 == s2
+	case OpBne:
+		return s1 != s2
+	case OpBlt:
+		return int64(s1) < int64(s2)
+	case OpBge:
+		return int64(s1) >= int64(s2)
+	case OpBltu:
+		return s1 < s2
+	case OpBgeu:
+		return s1 >= s2
+	case OpJ, OpJal, OpJr:
+		return true
+	}
+	return false
+}
+
+// BranchTarget computes the taken-path target PC of a control transfer
+// given the first source operand's value (used only by OpJr).
+func BranchTarget(inst Inst, s1 uint64) uint64 {
+	if inst.Op == OpJr {
+		return s1
+	}
+	return inst.Target
+}
+
+// EffAddr computes the effective address of a memory instruction.
+func EffAddr(inst Inst, s1 uint64) uint64 { return s1 + uint64(inst.Imm) }

@@ -1,0 +1,262 @@
+// Package isa defines the simulated 64-bit RISC instruction set used by
+// the recycling simulator: opcodes, register conventions, operand
+// encodings, execution semantics, and functional-unit latencies.
+//
+// The ISA is deliberately small but complete enough to express the
+// SPEC95-like synthetic workloads: integer ALU ops, multiply/divide,
+// loads and stores, conditional branches, jumps and calls, and a
+// floating-point subset.  Instructions occupy 4 bytes of address space
+// so that a 64-byte cache line holds 16 instructions, matching the
+// fetch-block geometry of the paper's machine.
+package isa
+
+// InstBytes is the architectural size of one instruction in bytes.
+// PCs advance by InstBytes; cache lines are 64 bytes = 16 instructions.
+const InstBytes = 4
+
+// Register-file geometry.  Logical registers 0..31 are integer
+// registers (register 0 is hardwired to zero); 32..63 are floating
+// point.  A single 64-entry logical space keeps the rename map simple
+// while the physical register file still maintains separate integer
+// and floating-point pools, as in the paper.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+
+	// RegZero always reads as zero and ignores writes.
+	RegZero = 0
+	// RegRA is the conventional link (return address) register.
+	RegRA = 31
+	// RegSP is the conventional stack pointer.
+	RegSP = 30
+	// FPBase is the first floating-point logical register number.
+	FPBase = NumIntRegs
+)
+
+// Reg identifies a logical register (0..NumRegs-1).
+type Reg uint8
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= FPBase }
+
+// Op enumerates the operations of the ISA.
+type Op uint8
+
+// Opcodes.  Three-register ALU forms read Rs1 and Rs2 and write Rd.
+// Immediate forms read Rs1 and Imm.  Branches compare Rs1 against Rs2
+// and transfer to Target.  Loads/stores compute Rs1+Imm.
+const (
+	OpNop Op = iota
+	OpHalt
+
+	// Integer ALU, register forms.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt  // set if less than (signed)
+	OpSltu // set if less than (unsigned)
+
+	// Integer ALU, immediate forms.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLi // rd = imm (64-bit immediate materialization)
+
+	// Memory.
+	OpLd  // rd = mem[rs1+imm]
+	OpSt  // mem[rs1+imm] = rs2
+	OpFld // frd = mem[rs1+imm]
+	OpFst // mem[rs1+imm] = frs2
+
+	// Control.
+	OpBeq
+	OpBne
+	OpBlt // signed
+	OpBge // signed
+	OpBltu
+	OpBgeu
+	OpJ   // unconditional jump to Target
+	OpJal // rd = pc+4; jump to Target
+	OpJr  // jump to rs1 (indirect; returns when rs1 == RegRA)
+
+	// Floating point.  FP registers are addressed with Reg >= FPBase.
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFmov
+	OpFneg
+	OpCvtIF // frd = float64(int64(rs1))
+	OpCvtFI // rd = int64(float64(frs1))
+	OpFlt   // rd(int) = frs1 < frs2
+	OpFeq   // rd(int) = frs1 == frs2
+
+	numOps
+)
+
+// NumOps is the count of defined opcodes (useful for table sizing).
+const NumOps = int(numOps)
+
+// Inst is a decoded instruction.  The simulator stores instructions in
+// decoded form everywhere (fetch buffers, active lists, recycle paths),
+// mirroring the paper's observation that the active list keeps "the
+// decoded opcode and physical and logical register operands".
+type Inst struct {
+	Op     Op
+	Rd     Reg    // destination (ignored if !WritesReg)
+	Rs1    Reg    // first source
+	Rs2    Reg    // second source (also store data register)
+	Imm    int64  // immediate / displacement
+	Target uint64 // absolute branch/jump target PC
+}
+
+// Class groups opcodes by the functional unit that executes them.
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassFPCvt
+	NumClasses
+)
+
+var opClass = [NumOps]Class{
+	OpNop: ClassNop, OpHalt: ClassNop,
+	OpAdd: ClassIntALU, OpSub: ClassIntALU, OpMul: ClassIntMul,
+	OpDiv: ClassIntDiv, OpRem: ClassIntDiv,
+	OpAnd: ClassIntALU, OpOr: ClassIntALU, OpXor: ClassIntALU,
+	OpSll: ClassIntALU, OpSrl: ClassIntALU, OpSra: ClassIntALU,
+	OpSlt: ClassIntALU, OpSltu: ClassIntALU,
+	OpAddi: ClassIntALU, OpAndi: ClassIntALU, OpOri: ClassIntALU,
+	OpXori: ClassIntALU, OpSlli: ClassIntALU, OpSrli: ClassIntALU,
+	OpSrai: ClassIntALU, OpSlti: ClassIntALU, OpLi: ClassIntALU,
+	OpLd: ClassLoad, OpSt: ClassStore, OpFld: ClassLoad, OpFst: ClassStore,
+	OpBeq: ClassBranch, OpBne: ClassBranch, OpBlt: ClassBranch,
+	OpBge: ClassBranch, OpBltu: ClassBranch, OpBgeu: ClassBranch,
+	OpJ: ClassBranch, OpJal: ClassBranch, OpJr: ClassBranch,
+	OpFadd: ClassFPAdd, OpFsub: ClassFPAdd, OpFmul: ClassFPMul,
+	OpFdiv: ClassFPDiv, OpFmov: ClassFPAdd, OpFneg: ClassFPAdd,
+	OpCvtIF: ClassFPCvt, OpCvtFI: ClassFPCvt,
+	OpFlt: ClassFPAdd, OpFeq: ClassFPAdd,
+}
+
+// Class returns the functional-unit class of the instruction.
+func (i Inst) Class() Class { return opClass[i.Op] }
+
+// IsBranch reports whether the instruction is any control transfer.
+func (i Inst) IsBranch() bool { return i.Class() == ClassBranch }
+
+// IsCondBranch reports whether the instruction is a conditional branch
+// (the only kind TME forks on).
+func (i Inst) IsCondBranch() bool {
+	switch i.Op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether the control transfer target comes from a
+// register rather than the instruction encoding.
+func (i Inst) IsIndirect() bool { return i.Op == OpJr }
+
+// IsCall reports whether the instruction is a call (pushes the return
+// address predictor stack).
+func (i Inst) IsCall() bool { return i.Op == OpJal }
+
+// IsReturn reports whether the instruction is a conventional return.
+func (i Inst) IsReturn() bool { return i.Op == OpJr && i.Rs1 == RegRA }
+
+// IsLoad reports whether the instruction reads memory.
+func (i Inst) IsLoad() bool { return i.Op == OpLd || i.Op == OpFld }
+
+// IsStore reports whether the instruction writes memory.
+func (i Inst) IsStore() bool { return i.Op == OpSt || i.Op == OpFst }
+
+// IsMem reports whether the instruction accesses memory.
+func (i Inst) IsMem() bool { return i.IsLoad() || i.IsStore() }
+
+// IsHalt reports whether the instruction terminates the program.
+func (i Inst) IsHalt() bool { return i.Op == OpHalt }
+
+// WritesReg reports whether the instruction produces a register result.
+// Writes to the hardwired zero register are discarded but still rename
+// (they allocate and immediately deadlock nothing; the assembler never
+// emits them, and the core treats Rd==RegZero as no destination).
+func (i Inst) WritesReg() bool {
+	switch i.Op {
+	case OpNop, OpHalt, OpSt, OpFst, OpBeq, OpBne, OpBlt, OpBge,
+		OpBltu, OpBgeu, OpJ, OpJr:
+		return false
+	case OpJal:
+		return i.Rd != RegZero
+	}
+	return i.Rd != RegZero
+}
+
+// SrcRegs returns the logical source registers read by the instruction.
+// A register appears at most once even if read twice; RegZero is
+// omitted (it is constant).  The two-element return keeps this
+// allocation free; n is the number of valid entries.
+func (i Inst) SrcRegs() (srcs [2]Reg, n int) {
+	add := func(r Reg) {
+		if r == RegZero {
+			return
+		}
+		for k := 0; k < n; k++ {
+			if srcs[k] == r {
+				return
+			}
+		}
+		srcs[n] = r
+		n++
+	}
+	switch i.Op {
+	case OpNop, OpHalt, OpLi, OpJ, OpJal:
+		return
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai,
+		OpSlti, OpLd, OpFld, OpJr, OpFmov, OpFneg, OpCvtIF, OpCvtFI:
+		add(i.Rs1)
+		return
+	default:
+		add(i.Rs1)
+		add(i.Rs2)
+		return
+	}
+}
+
+// ReadsRs2 reports whether Rs2 is a live source operand.
+func (i Inst) ReadsRs2() bool {
+	switch i.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpSt, OpFst,
+		OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu,
+		OpFadd, OpFsub, OpFmul, OpFdiv, OpFlt, OpFeq:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"recyclesim/internal/isa"
+)
+
+func prog2() *Program {
+	return &Program{
+		Name:  "t",
+		Code:  []isa.Inst{{Op: isa.OpNop}, {Op: isa.OpHalt}},
+		Entry: CodeBase,
+	}
+}
+
+func TestPCToIndex(t *testing.T) {
+	p := prog2()
+	if i, ok := p.PCToIndex(CodeBase); !ok || i != 0 {
+		t.Errorf("entry index: %d %v", i, ok)
+	}
+	if i, ok := p.PCToIndex(CodeBase + isa.InstBytes); !ok || i != 1 {
+		t.Errorf("second index: %d %v", i, ok)
+	}
+	if _, ok := p.PCToIndex(CodeBase + 2*isa.InstBytes); ok {
+		t.Error("past-end PC resolved")
+	}
+	if _, ok := p.PCToIndex(CodeBase + 1); ok {
+		t.Error("misaligned PC resolved")
+	}
+	if _, ok := p.PCToIndex(0); ok {
+		t.Error("below-base PC resolved")
+	}
+}
+
+func TestFetchOutsideTextIsHalt(t *testing.T) {
+	p := prog2()
+	if !p.FetchInst(0xDEAD00).IsHalt() {
+		t.Error("wrong-path fetch outside text must be a halt")
+	}
+	if p.EndPC() != CodeBase+2*isa.InstBytes {
+		t.Errorf("end pc = 0x%x", p.EndPC())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := prog2()
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	p.Entry = 0
+	if err := p.Validate(); err == nil {
+		t.Error("bad entry accepted")
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	p := prog2()
+	p.Data = map[uint64]uint64{DataBase: 7}
+	m := NewMemory(p)
+	if m.Read(DataBase) != 7 {
+		t.Error("initial data missing")
+	}
+	if m.Read(DataBase+8) != 0 {
+		t.Error("untouched word should read zero")
+	}
+	m.Write(DataBase+16, 9)
+	if m.Read(DataBase+16) != 9 {
+		t.Error("write lost")
+	}
+	// Unaligned accesses truncate to the containing word.
+	m.Write(DataBase+17, 11)
+	if m.Read(DataBase+16) != 11 || m.Read(DataBase+23) != 11 {
+		t.Error("alignment truncation broken")
+	}
+	// Two distinct words touched: DataBase (init) and DataBase+16
+	// (the +17 write aliases the +16 word).
+	if m.Footprint() != 2 {
+		t.Errorf("footprint = %d", m.Footprint())
+	}
+}
+
+func TestMemoryCloneIndependent(t *testing.T) {
+	p := prog2()
+	m := NewMemory(p)
+	m.Write(0x100, 1)
+	c := m.Clone()
+	c.Write(0x100, 2)
+	if m.Read(0x100) != 1 || c.Read(0x100) != 2 {
+		t.Error("clone aliases the original")
+	}
+}
+
+// Property: a write followed by a read of any address within the same
+// aligned word returns the written value.
+func TestMemoryWordSemantics(t *testing.T) {
+	m := NewMemory(prog2())
+	fn := func(addr uint64, val uint64, off uint8) bool {
+		m.Write(addr, val)
+		return m.Read(addr&^7+uint64(off%8)) == val
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package recycle
+
+// MergePoints tracks the two merge points §3.2 allows per context: the
+// PC of the first instruction in the context's active list, and the
+// target of the last backward branch inserted into it (for loop
+// recycling).  The backward point is invalidated when the active list
+// overwrites the entry it names.
+type MergePoints struct {
+	FirstPC    uint64
+	FirstSeq   uint64
+	FirstValid bool
+
+	BackPC    uint64
+	BackSeq   uint64
+	BackValid bool
+}
+
+// SetFirst records the first-instruction merge point.
+func (m *MergePoints) SetFirst(pc uint64, seq uint64) {
+	m.FirstPC, m.FirstSeq, m.FirstValid = pc, seq, true
+}
+
+// SetBack records a new backward-branch merge point, overwriting any
+// previous one ("if another backwards branch is detected, it overwrites
+// the previous backward branch merge point").
+func (m *MergePoints) SetBack(pc uint64, seq uint64) {
+	m.BackPC, m.BackSeq, m.BackValid = pc, seq, true
+}
+
+// Invalidate clears both points (context reclaim).
+func (m *MergePoints) Invalidate() {
+	m.FirstValid, m.BackValid = false, false
+}
+
+// DropSeq invalidates points that referenced the evicted active-list
+// sequence number ("if an instruction is inserted into the active list
+// which overwrites the first instruction of a backwards branch merge
+// point, then the merge point is invalidated").
+func (m *MergePoints) DropSeq(seq uint64) {
+	if m.BackValid && m.BackSeq == seq {
+		m.BackValid = false
+	}
+	if m.FirstValid && m.FirstSeq == seq {
+		m.FirstValid = false
+	}
+}
+
+// DropFrom invalidates points into the squashed range [seq, ∞).
+func (m *MergePoints) DropFrom(seq uint64) {
+	if m.BackValid && m.BackSeq >= seq {
+		m.BackValid = false
+	}
+	if m.FirstValid && m.FirstSeq >= seq {
+		m.FirstValid = false
+	}
+}
+
+// Match checks pc against the valid merge points and returns the
+// active-list sequence to recycle from.  The first-PC point wins when
+// both match (it is the longer trace).
+func (m *MergePoints) Match(pc uint64) (seq uint64, back bool, ok bool) {
+	if m.FirstValid && m.FirstPC == pc {
+		return m.FirstSeq, false, true
+	}
+	if m.BackValid && m.BackPC == pc {
+		return m.BackSeq, true, true
+	}
+	return 0, false, false
+}

@@ -1,0 +1,234 @@
+package recycle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"recyclesim/internal/isa"
+)
+
+func TestWrittenBitsBasics(t *testing.T) {
+	w := NewWrittenBits(4)
+	mask := uint16(0b1111)
+	if w.Changed(5, 2) {
+		t.Error("fresh array should report unchanged")
+	}
+	w.MarkWritten(5, mask)
+	for ctx := 0; ctx < 4; ctx++ {
+		if !w.Changed(5, ctx) {
+			t.Errorf("ctx %d should see reg 5 changed", ctx)
+		}
+	}
+	if w.Changed(6, 0) {
+		t.Error("other registers unaffected")
+	}
+	w.ResetContext(2)
+	if w.Changed(5, 2) {
+		t.Error("reset column should be clear")
+	}
+	if !w.Changed(5, 1) {
+		t.Error("other columns must survive a reset")
+	}
+}
+
+func TestWrittenBitsPartitionMask(t *testing.T) {
+	w := NewWrittenBits(8)
+	// Partition A = contexts 0-3, partition B = 4-7.
+	w.MarkWritten(3, 0b00001111)
+	if w.Changed(3, 5) {
+		t.Error("partition B must not see partition A's writes")
+	}
+	if !w.Changed(3, 2) {
+		t.Error("partition A context should see the write")
+	}
+}
+
+func TestWrittenBitsReuseCase(t *testing.T) {
+	w := NewWrittenBits(4)
+	mask := uint16(0b1111)
+	// A reused definition re-installs ctx 1's own mapping: its column
+	// stays clear, everyone else's is set.
+	w.MarkWrittenExcept(7, mask, 1)
+	if w.Changed(7, 1) {
+		t.Error("reuse source column should stay clear")
+	}
+	if !w.Changed(7, 0) || !w.Changed(7, 3) {
+		t.Error("other columns should be set")
+	}
+	// ClearFor reopens chained reuse after the row was fully set.
+	w.MarkWritten(7, mask)
+	w.ClearFor(7, 1)
+	if w.Changed(7, 1) {
+		t.Error("ClearFor failed")
+	}
+}
+
+func TestWrittenBitsSetAll(t *testing.T) {
+	w := NewWrittenBits(4)
+	w.SetAll(0b0011)
+	if !w.Changed(1, 0) || !w.Changed(31, 1) {
+		t.Error("SetAll should mark every register for masked contexts")
+	}
+	if w.Changed(1, 2) {
+		t.Error("SetAll must respect the mask")
+	}
+}
+
+func TestWrittenBitsZeroRegister(t *testing.T) {
+	w := NewWrittenBits(2)
+	w.MarkWritten(isa.RegZero, 0b11)
+	if w.Changed(isa.RegZero, 0) {
+		t.Error("the zero register never changes")
+	}
+}
+
+func TestMDBInsertAndInvalidate(t *testing.T) {
+	m := NewMDB(4)
+	m.InsertLoad(0x100, 0x8000)
+	if !m.Reusable(0x100, 0x8000) {
+		t.Error("inserted load should be reusable")
+	}
+	if m.Reusable(0x104, 0x8000) {
+		t.Error("different PC should not match")
+	}
+	m.StoreTo(0x8000)
+	if m.Reusable(0x100, 0x8000) {
+		t.Error("store must invalidate the load")
+	}
+	if m.Len() != 0 {
+		t.Errorf("len = %d", m.Len())
+	}
+}
+
+func TestMDBStoreOnlyMatchingAddress(t *testing.T) {
+	m := NewMDB(4)
+	m.InsertLoad(0x100, 0x8000)
+	m.InsertLoad(0x104, 0x8008)
+	m.StoreTo(0x8000)
+	if m.Reusable(0x100, 0x8000) {
+		t.Error("stored-to address should be invalid")
+	}
+	if !m.Reusable(0x104, 0x8008) {
+		t.Error("other address must survive")
+	}
+}
+
+func TestMDBCapacityFIFO(t *testing.T) {
+	m := NewMDB(2)
+	m.InsertLoad(0x100, 0x8000)
+	m.InsertLoad(0x104, 0x8008)
+	m.InsertLoad(0x108, 0x8010) // evicts the first
+	if m.Reusable(0x100, 0x8000) {
+		t.Error("oldest entry should be evicted")
+	}
+	if !m.Reusable(0x104, 0x8008) || !m.Reusable(0x108, 0x8010) {
+		t.Error("newer entries should survive")
+	}
+}
+
+func TestMDBReinsertRefreshes(t *testing.T) {
+	m := NewMDB(4)
+	m.InsertLoad(0x100, 0x8000)
+	m.InsertLoad(0x100, 0x8000) // duplicate: no double entry
+	if m.Len() != 1 {
+		t.Errorf("len = %d, want 1", m.Len())
+	}
+	m.StoreTo(0x8000)
+	if m.Reusable(0x100, 0x8000) {
+		t.Error("invalidated after store")
+	}
+}
+
+// Property: the MDB never reports a load reusable after a store to the
+// same address, under any operation interleaving.
+func TestMDBSafetyProperty(t *testing.T) {
+	type op struct {
+		Store bool
+		PC    uint8
+		Addr  uint8
+	}
+	fn := func(ops []op) bool {
+		m := NewMDB(8)
+		lastStore := map[uint64]int{}
+		lastLoad := map[[2]uint64]int{}
+		for i, o := range ops {
+			pc := uint64(o.PC) * 4
+			addr := uint64(o.Addr) * 8
+			if o.Store {
+				m.StoreTo(addr)
+				lastStore[addr] = i
+			} else {
+				m.InsertLoad(pc, addr)
+				lastLoad[[2]uint64{pc, addr}] = i
+			}
+		}
+		for key, li := range lastLoad {
+			if si, ok := lastStore[key[1]]; ok && si > li {
+				if m.Reusable(key[0], key[1]) {
+					return false // store-after-load yet still reusable
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergePoints(t *testing.T) {
+	var m MergePoints
+	if _, _, ok := m.Match(0x1000); ok {
+		t.Error("empty merge points should not match")
+	}
+	m.SetFirst(0x1000, 3)
+	m.SetBack(0x2000, 7)
+	if seq, back, ok := m.Match(0x1000); !ok || back || seq != 3 {
+		t.Errorf("first match: %d %v %v", seq, back, ok)
+	}
+	if seq, back, ok := m.Match(0x2000); !ok || !back || seq != 7 {
+		t.Errorf("back match: %d %v %v", seq, back, ok)
+	}
+	// First-PC wins when both name the same address.
+	m.SetBack(0x1000, 9)
+	if seq, back, _ := m.Match(0x1000); back || seq != 3 {
+		t.Error("first-PC point should win")
+	}
+}
+
+func TestMergePointsInvalidation(t *testing.T) {
+	var m MergePoints
+	m.SetFirst(0x1000, 3)
+	m.SetBack(0x2000, 7)
+	m.DropSeq(7)
+	if _, _, ok := m.Match(0x2000); ok {
+		t.Error("dropped backward point should not match")
+	}
+	m.DropSeq(3)
+	if _, _, ok := m.Match(0x1000); ok {
+		t.Error("dropped first point should not match")
+	}
+
+	m.SetFirst(0x1000, 3)
+	m.SetBack(0x2000, 7)
+	m.DropFrom(5)
+	if _, _, ok := m.Match(0x2000); ok {
+		t.Error("squash range should invalidate the backward point")
+	}
+	if _, _, ok := m.Match(0x1000); !ok {
+		t.Error("older first point should survive DropFrom(5)")
+	}
+	m.Invalidate()
+	if _, _, ok := m.Match(0x1000); ok {
+		t.Error("Invalidate should clear everything")
+	}
+}
+
+func TestWrittenBitsTooManyContexts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for >16 contexts")
+		}
+	}()
+	NewWrittenBits(17)
+}

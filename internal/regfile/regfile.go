@@ -1,0 +1,165 @@
+// Package regfile implements the shared physical register file of the
+// SMT/TME processor: values, ready bits, per-register reference counts,
+// and separate integer and floating-point free lists.
+//
+// Reference counting is what makes the paper's instruction *reuse* safe
+// in the simulator: reuse writes an inactive context's old physical
+// mapping into the primary thread's map table, so the same physical
+// register is then reachable from two places (the inactive active list
+// and the primary's map/active-list).  A register returns to the free
+// list only when every holder has released it, which prevents the
+// double-free / premature-free hazards §3.5 of the paper works around
+// with its "last reuse" bookkeeping.
+package regfile
+
+import "fmt"
+
+// PhysReg names one physical register.  NoReg marks "no mapping".
+type PhysReg int32
+
+// NoReg is the absent-mapping sentinel.
+const NoReg PhysReg = -1
+
+// File is the physical register file.  Integer registers occupy ids
+// [0, NumInt); floating point ids [NumInt, NumInt+NumFP).
+type File struct {
+	NumInt, NumFP int
+
+	vals  []uint64
+	ready []bool
+	refs  []int32
+
+	freeInt []PhysReg
+	freeFP  []PhysReg
+
+	// AllocFailures counts Alloc calls that found an empty free list;
+	// the core uses this to trigger inactive-context reclamation.
+	AllocFailures uint64
+}
+
+// New builds a register file with all registers free.
+func New(numInt, numFP int) *File {
+	f := &File{
+		NumInt: numInt,
+		NumFP:  numFP,
+		vals:   make([]uint64, numInt+numFP),
+		ready:  make([]bool, numInt+numFP),
+		refs:   make([]int32, numInt+numFP),
+	}
+	f.freeInt = make([]PhysReg, 0, numInt)
+	f.freeFP = make([]PhysReg, 0, numFP)
+	for r := numInt + numFP - 1; r >= 0; r-- {
+		if r >= numInt {
+			f.freeFP = append(f.freeFP, PhysReg(r))
+		} else {
+			f.freeInt = append(f.freeInt, PhysReg(r))
+		}
+	}
+	return f
+}
+
+// IsFP reports which pool the register belongs to.
+func (f *File) IsFP(r PhysReg) bool { return int(r) >= f.NumInt }
+
+// FreeCount returns the number of free registers in the given pool.
+func (f *File) FreeCount(fp bool) int {
+	if fp {
+		return len(f.freeFP)
+	}
+	return len(f.freeInt)
+}
+
+// Alloc takes a register from the requested pool with refcount 1 and
+// not-ready status.  ok is false when the pool is empty (rename must
+// stall or reclaim an inactive context).
+func (f *File) Alloc(fp bool) (PhysReg, bool) {
+	list := &f.freeInt
+	if fp {
+		list = &f.freeFP
+	}
+	if len(*list) == 0 {
+		f.AllocFailures++
+		return NoReg, false
+	}
+	r := (*list)[len(*list)-1]
+	*list = (*list)[:len(*list)-1]
+	f.refs[r] = 1
+	f.ready[r] = false
+	f.vals[r] = 0
+	return r, true
+}
+
+// AddRef notes an additional holder of r (e.g. a reused mapping).
+func (f *File) AddRef(r PhysReg) {
+	if r == NoReg {
+		return
+	}
+	if f.refs[r] <= 0 {
+		panic(fmt.Sprintf("regfile: AddRef on free register p%d", r))
+	}
+	f.refs[r]++
+}
+
+// Release drops one reference; at zero the register returns to its
+// free list.
+func (f *File) Release(r PhysReg) {
+	if r == NoReg {
+		return
+	}
+	if f.refs[r] <= 0 {
+		panic(fmt.Sprintf("regfile: Release on free register p%d", r))
+	}
+	f.refs[r]--
+	if f.refs[r] == 0 {
+		if f.IsFP(r) {
+			f.freeFP = append(f.freeFP, r)
+		} else {
+			f.freeInt = append(f.freeInt, r)
+		}
+	}
+}
+
+// Refs returns the current reference count (tests, invariant checks).
+func (f *File) Refs(r PhysReg) int { return int(f.refs[r]) }
+
+// SetValue writes a produced value and marks the register ready.
+func (f *File) SetValue(r PhysReg, v uint64) {
+	f.vals[r] = v
+	f.ready[r] = true
+}
+
+// Value reads the register's value (valid once Ready).
+func (f *File) Value(r PhysReg) uint64 { return f.vals[r] }
+
+// Ready reports whether the register's value has been produced.
+func (f *File) Ready(r PhysReg) bool { return f.ready[r] }
+
+// CheckConservation verifies that every register is either free or
+// referenced, and none is both; tests call this after stress runs.
+func (f *File) CheckConservation() error {
+	onFree := make(map[PhysReg]bool, len(f.freeInt)+len(f.freeFP))
+	for _, r := range f.freeInt {
+		if onFree[r] {
+			return fmt.Errorf("regfile: p%d on free list twice", r)
+		}
+		onFree[r] = true
+	}
+	for _, r := range f.freeFP {
+		if onFree[r] {
+			return fmt.Errorf("regfile: p%d on free list twice", r)
+		}
+		onFree[r] = true
+	}
+	for r := 0; r < f.NumInt+f.NumFP; r++ {
+		pr := PhysReg(r)
+		switch {
+		case f.refs[r] < 0:
+			return fmt.Errorf("regfile: p%d has negative refcount %d", r, f.refs[r])
+		case f.refs[r] == 0 && !onFree[pr]:
+			return fmt.Errorf("regfile: p%d has refcount 0 but is not free", r)
+		case f.refs[r] > 0 && onFree[pr]:
+			return fmt.Errorf("regfile: p%d has refcount %d but is on the free list", r, f.refs[r])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocRelease(t *testing.T) {
+	f := New(4, 2)
+	var regs []PhysReg
+	for i := 0; i < 4; i++ {
+		r, ok := f.Alloc(false)
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		regs = append(regs, r)
+	}
+	if _, ok := f.Alloc(false); ok {
+		t.Fatal("alloc from empty pool succeeded")
+	}
+	if f.AllocFailures != 1 {
+		t.Errorf("AllocFailures = %d", f.AllocFailures)
+	}
+	f.Release(regs[0])
+	if r, ok := f.Alloc(false); !ok || r != regs[0] {
+		t.Fatalf("released register not reallocated: %v %v", r, ok)
+	}
+}
+
+func TestPoolsSeparate(t *testing.T) {
+	f := New(2, 2)
+	r1, _ := f.Alloc(false)
+	r2, _ := f.Alloc(true)
+	if f.IsFP(r1) {
+		t.Error("int alloc returned fp register")
+	}
+	if !f.IsFP(r2) {
+		t.Error("fp alloc returned int register")
+	}
+	f.Alloc(false)
+	if _, ok := f.Alloc(false); ok {
+		t.Error("int pool should be exhausted")
+	}
+	if _, ok := f.Alloc(true); !ok {
+		t.Error("fp pool should still have a register")
+	}
+}
+
+func TestRefCounting(t *testing.T) {
+	f := New(2, 0)
+	r, _ := f.Alloc(false)
+	f.AddRef(r)
+	if f.Refs(r) != 2 {
+		t.Errorf("refs = %d", f.Refs(r))
+	}
+	f.Release(r)
+	if f.FreeCount(false) != 1 {
+		t.Error("register freed while still referenced")
+	}
+	f.Release(r)
+	if f.FreeCount(false) != 2 {
+		t.Error("register not freed at refcount zero")
+	}
+	if err := f.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReleaseFreePanics(t *testing.T) {
+	f := New(1, 0)
+	r, _ := f.Alloc(false)
+	f.Release(r)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release should panic")
+		}
+	}()
+	f.Release(r)
+}
+
+func TestAddRefFreePanics(t *testing.T) {
+	f := New(1, 0)
+	r, _ := f.Alloc(false)
+	f.Release(r)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddRef on free register should panic")
+		}
+	}()
+	f.AddRef(r)
+}
+
+func TestValuesAndReady(t *testing.T) {
+	f := New(1, 0)
+	r, _ := f.Alloc(false)
+	if f.Ready(r) {
+		t.Error("fresh register should not be ready")
+	}
+	f.SetValue(r, 42)
+	if !f.Ready(r) || f.Value(r) != 42 {
+		t.Errorf("value = %d ready = %v", f.Value(r), f.Ready(r))
+	}
+	f.Release(r)
+	r2, _ := f.Alloc(false)
+	if f.Ready(r2) {
+		t.Error("reallocated register should be reset to not-ready")
+	}
+}
+
+func TestNoRegIsNoop(t *testing.T) {
+	f := New(1, 0)
+	f.AddRef(NoReg)
+	f.Release(NoReg) // must not panic
+}
+
+// Property: any sequence of alloc/addref/release operations preserves
+// register conservation (every register is exactly free or referenced).
+func TestConservationProperty(t *testing.T) {
+	fn := func(ops []uint8) bool {
+		f := New(8, 4)
+		var live []PhysReg
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if r, ok := f.Alloc(op%2 == 0); ok {
+					live = append(live, r)
+				}
+			case 1:
+				if len(live) > 0 {
+					f.AddRef(live[int(op)%len(live)])
+					live = append(live, live[int(op)%len(live)])
+				}
+			case 2:
+				if len(live) > 0 {
+					i := int(op) % len(live)
+					f.Release(live[i])
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+			if err := f.CheckConservation(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

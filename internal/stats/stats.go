@@ -1,0 +1,166 @@
+// Package stats collects the simulator's performance counters and
+// derives every metric the paper reports: IPC for the figures and the
+// recycling statistics of Table 1.
+package stats
+
+import "fmt"
+
+// Sim accumulates counters over one simulation run.
+type Sim struct {
+	Cycles uint64
+
+	// Instruction flow.
+	Fetched   uint64 // instructions fetched from the I-cache path
+	Renamed   uint64 // instructions inserted into the rename stage (incl. squashed)
+	Recycled  uint64 // renamed via the recycle datapath
+	Reused    uint64 // recycled instructions that also reused their old result
+	Committed uint64 // architecturally retired
+	Squashed  uint64 // removed by mispredict or context reclaim
+
+	// Branch behaviour (primary-path resolved conditional branches).
+	CondBranches  uint64
+	Mispredicts   uint64
+	CoveredMiss   uint64 // mispredicts whose alternate path had been forked
+	BTBMisses     uint64
+	ReturnPredOK  uint64
+	ReturnPredBad uint64
+
+	// TME forking.
+	Forks          uint64 // alternate paths spawned (incl. respawns)
+	Respawns       uint64 // spawns satisfied by re-activating an inactive trace
+	ForksUsedTME   uint64 // forked paths promoted to primary (covered a mispredict)
+	ForksRecycled  uint64 // forked paths recycled from at least once
+	ForksRespawned uint64 // forked paths re-spawned at least once
+	ForksDeleted   uint64 // forked paths reclaimed (denominator for Merges/AltPath)
+
+	// Merges.
+	Merges        uint64 // recycle streams started
+	BackMerges    uint64 // of which backward-branch (loop) merges
+	AltMergeTotal uint64 // non-back merges from deleted alternate paths
+
+	// Fork failures by cause.
+	ForkFailNoCtx uint64 // no idle or reclaimable context
+	ForkFailReuse uint64 // inactive contexts pinned by outstanding reuse
+
+	// Resource pressure.
+	RenameStallRegs uint64 // rename stalls on an empty free list
+	RenameStallAL   uint64 // rename stalls on a full active list
+	IQFullStalls    uint64
+	Reclaims        uint64 // inactive contexts reclaimed for spawning
+
+	// Per-program commit counts (multiprogram runs).
+	PerProgram []uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Sim) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// PctRecycled returns the percentage of instructions inserted into the
+// rename stage that came through the recycle datapath (Table 1 col 1).
+func (s *Sim) PctRecycled() float64 { return pct(s.Recycled, s.Renamed) }
+
+// PctReused returns the percentage of renamed instructions whose old
+// results were reused (Table 1 col 2).
+func (s *Sim) PctReused() float64 { return pct(s.Reused, s.Renamed) }
+
+// BranchMissCoverage returns the percentage of mispredicted branches
+// that were covered by a forked alternate path (Table 1 col 3).
+func (s *Sim) BranchMissCoverage() float64 { return pct(s.CoveredMiss, s.Mispredicts) }
+
+// PctForksUsedTME returns forked paths promoted to primary as a
+// percentage of all forks (Table 1 col 4).
+func (s *Sim) PctForksUsedTME() float64 { return pct(s.ForksUsedTME, s.Forks) }
+
+// PctForksRecycled returns forked paths recycled at least once as a
+// percentage of all forks (Table 1 col 5).
+func (s *Sim) PctForksRecycled() float64 { return pct(s.ForksRecycled, s.Forks) }
+
+// PctForksRespawned returns forked paths re-spawned at least once as a
+// percentage of all forks (Table 1 col 6).
+func (s *Sim) PctForksRespawned() float64 { return pct(s.ForksRespawned, s.Forks) }
+
+// MergesPerAltPath returns the average number of (non-backward) merges
+// a recycled alternate path supplied before deletion (Table 1 col 7).
+func (s *Sim) MergesPerAltPath() float64 {
+	recycledDeleted := s.ForksDeleted
+	if recycledDeleted == 0 {
+		return 0
+	}
+	// The paper averages over recycled alternate paths; paths never
+	// recycled contribute zero merges and are excluded.
+	if s.ForksRecycled == 0 {
+		return 0
+	}
+	return float64(s.AltMergeTotal) / float64(s.ForksRecycled)
+}
+
+// PctBackMerges returns backward-branch merges as a percentage of all
+// merges (Table 1 col 8).
+func (s *Sim) PctBackMerges() float64 { return pct(s.BackMerges, s.Merges) }
+
+// MispredictRate returns mispredicted conditional branches as a
+// fraction of resolved conditional branches.
+func (s *Sim) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+func pct(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// Table1Row renders the paper's Table 1 columns for this run.
+func (s *Sim) Table1Row(name string) string {
+	return fmt.Sprintf("%-10s %8.1f %8.1f %10.1f %7.1f %7.1f %9.1f %11.2f %9.1f",
+		name,
+		s.PctRecycled(), s.PctReused(), s.BranchMissCoverage(),
+		s.PctForksUsedTME(), s.PctForksRecycled(), s.PctForksRespawned(),
+		s.MergesPerAltPath(), s.PctBackMerges())
+}
+
+// Table1Header returns the column header matching Table1Row.
+func Table1Header() string {
+	return fmt.Sprintf("%-10s %8s %8s %10s %7s %7s %9s %11s %9s",
+		"Program", "%Recyc", "%Reuse", "%MissCov", "%TME", "%Recyc", "%Respawn",
+		"Merges/Alt", "%BackMrg")
+}
+
+// Add accumulates other into s (averaging across workload permutations
+// is done on the summed counters, weighting each benchmark evenly when
+// run lengths are equal).
+func (s *Sim) Add(other *Sim) {
+	s.Cycles += other.Cycles
+	s.Fetched += other.Fetched
+	s.Renamed += other.Renamed
+	s.Recycled += other.Recycled
+	s.Reused += other.Reused
+	s.Committed += other.Committed
+	s.Squashed += other.Squashed
+	s.CondBranches += other.CondBranches
+	s.Mispredicts += other.Mispredicts
+	s.CoveredMiss += other.CoveredMiss
+	s.BTBMisses += other.BTBMisses
+	s.Forks += other.Forks
+	s.Respawns += other.Respawns
+	s.ForksUsedTME += other.ForksUsedTME
+	s.ForksRecycled += other.ForksRecycled
+	s.ForksRespawned += other.ForksRespawned
+	s.ForksDeleted += other.ForksDeleted
+	s.Merges += other.Merges
+	s.BackMerges += other.BackMerges
+	s.AltMergeTotal += other.AltMergeTotal
+	s.RenameStallRegs += other.RenameStallRegs
+	s.RenameStallAL += other.RenameStallAL
+	s.IQFullStalls += other.IQFullStalls
+	s.Reclaims += other.Reclaims
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIPC(t *testing.T) {
+	s := &Sim{}
+	if s.IPC() != 0 {
+		t.Error("empty stats IPC should be 0")
+	}
+	s.Cycles, s.Committed = 100, 250
+	if s.IPC() != 2.5 {
+		t.Errorf("IPC = %f", s.IPC())
+	}
+}
+
+func TestPercentages(t *testing.T) {
+	s := &Sim{
+		Renamed: 1000, Recycled: 250, Reused: 50,
+		Mispredicts: 40, CoveredMiss: 30, CondBranches: 400,
+		Forks: 100, ForksUsedTME: 15, ForksRecycled: 40, ForksRespawned: 10,
+		ForksDeleted: 80, AltMergeTotal: 68,
+		Merges: 200, BackMerges: 88,
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"PctRecycled", s.PctRecycled(), 25},
+		{"PctReused", s.PctReused(), 5},
+		{"BranchMissCoverage", s.BranchMissCoverage(), 75},
+		{"PctForksUsedTME", s.PctForksUsedTME(), 15},
+		{"PctForksRecycled", s.PctForksRecycled(), 40},
+		{"PctForksRespawned", s.PctForksRespawned(), 10},
+		{"MergesPerAltPath", s.MergesPerAltPath(), 1.7},
+		{"PctBackMerges", s.PctBackMerges(), 44},
+		{"MispredictRate", s.MispredictRate(), 0.1},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	s := &Sim{}
+	for name, f := range map[string]func() float64{
+		"recycled": s.PctRecycled, "reused": s.PctReused,
+		"cov": s.BranchMissCoverage, "tme": s.PctForksUsedTME,
+		"merges": s.MergesPerAltPath, "back": s.PctBackMerges,
+		"mis": s.MispredictRate,
+	} {
+		if f() != 0 {
+			t.Errorf("%s should be 0 on empty stats", name)
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := &Sim{Cycles: 10, Committed: 20, Merges: 3, Forks: 2, Recycled: 5}
+	b := &Sim{Cycles: 5, Committed: 10, Merges: 1, Forks: 1, Recycled: 2}
+	a.Add(b)
+	if a.Cycles != 15 || a.Committed != 30 || a.Merges != 4 || a.Forks != 3 || a.Recycled != 7 {
+		t.Errorf("Add: %+v", a)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	header := Table1Header()
+	s := &Sim{Renamed: 100, Recycled: 50}
+	row := s.Table1Row("compress")
+	if !strings.Contains(row, "compress") || !strings.Contains(row, "50.0") {
+		t.Errorf("row = %q", row)
+	}
+	if len(strings.Fields(header)) != len(strings.Fields(row)) {
+		t.Errorf("header/row field mismatch:\n%s\n%s", header, row)
+	}
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+
+	"recyclesim/internal/asm"
+	"recyclesim/internal/program"
+)
+
+// Su2cor models the quantum-physics FP code: tight inner loops of
+// fadd/fmul chains over vectors with near-perfect branch prediction.
+// TME gains nothing; backward-branch (primary-to-primary) recycling is
+// where its benefit comes from, as the paper notes for the FP codes.
+func Su2cor() *program.Program {
+	b := asm.NewBuilder("su2cor")
+	g := newLCG(0x52)
+
+	const vecN = 1024
+	va := make([]uint64, vecN)
+	vb := make([]uint64, vecN)
+	for i := range va {
+		va[i] = math.Float64bits(float64(g.below(1000)) / 997.0)
+		vb[i] = math.Float64bits(float64(g.below(1000)) / 991.0)
+	}
+	b.Array("va", vecN, va...)
+	b.Array("vb", vecN, vb...)
+	b.Array("vc", vecN)
+
+	b.La(asm.R(20), "va")
+	b.La(asm.R(21), "vb")
+	b.La(asm.R(22), "vc")
+	b.Li(asm.R(1), 8*vecN)
+	// Materialize the FP mixing constant through memory once.
+	b.Word("half", math.Float64bits(0.5))
+	b.La(asm.R(3), "half")
+	b.Fld(asm.F(9), asm.R(3), 0)
+
+	b.Label("pass")
+	b.Li(asm.R(10), 0)
+	b.Label("inner")
+	b.Add(asm.R(4), asm.R(20), asm.R(10))
+	b.Fld(asm.F(1), asm.R(4), 0)
+	b.Add(asm.R(5), asm.R(21), asm.R(10))
+	b.Fld(asm.F(2), asm.R(5), 0)
+	// c[i] = 0.5*(a[i]*b[i]) + a[i]
+	b.Fmul(asm.F(3), asm.F(1), asm.F(2))
+	b.Fmul(asm.F(4), asm.F(3), asm.F(9))
+	b.Fadd(asm.F(5), asm.F(4), asm.F(1))
+	b.Add(asm.R(6), asm.R(22), asm.R(10))
+	b.Fst(asm.F(5), asm.R(6), 0)
+	// a[i] relaxes toward c[i]
+	b.Fadd(asm.F(6), asm.F(1), asm.F(5))
+	b.Fmul(asm.F(7), asm.F(6), asm.F(9))
+	b.Fst(asm.F(7), asm.R(4), 0)
+	b.Addi(asm.R(10), asm.R(10), 8)
+	b.Blt(asm.R(10), asm.R(1), "inner") // predictable backward branch
+	b.J("pass")
+	return b.MustBuild()
+}
+
+// Tomcatv models the vectorized mesh generator: nested predictable
+// loops over a 2-D grid with longer FP dependence chains.  Its branch
+// prediction accuracy is so high that TME's coverage in the paper is
+// 3.5% — it forks almost nothing — making it the control case.
+func Tomcatv() *program.Program {
+	b := asm.NewBuilder("tomcatv")
+	g := newLCG(0x70)
+
+	const dim = 32 // dim*dim grid
+	grid := make([]uint64, dim*dim)
+	for i := range grid {
+		grid[i] = math.Float64bits(float64(g.below(512))/256.0 - 1.0)
+	}
+	b.Array("x", dim*dim, grid...)
+	b.Array("y", dim*dim)
+	b.Word("quarter", math.Float64bits(0.25))
+
+	b.La(asm.R(20), "x")
+	b.La(asm.R(21), "y")
+	b.La(asm.R(1), "quarter")
+	b.Fld(asm.F(9), asm.R(1), 0)
+	b.Li(asm.R(2), dim-2)
+
+	b.Label("iterate")
+	b.Li(asm.R(10), 1) // row
+	b.Label("row")
+	b.Li(asm.R(11), 1) // col
+	b.Label("col")
+	// idx = row*dim + col
+	b.Slli(asm.R(3), asm.R(10), 5)
+	b.Add(asm.R(3), asm.R(3), asm.R(11))
+	b.Slli(asm.R(3), asm.R(3), 3)
+	b.Add(asm.R(4), asm.R(20), asm.R(3))
+	// 4-point stencil
+	b.Fld(asm.F(1), asm.R(4), -8)
+	b.Fld(asm.F(2), asm.R(4), 8)
+	b.Fld(asm.F(3), asm.R(4), -(8 * dim))
+	b.Fld(asm.F(4), asm.R(4), 8*dim)
+	b.Fadd(asm.F(5), asm.F(1), asm.F(2))
+	b.Fadd(asm.F(6), asm.F(3), asm.F(4))
+	b.Fadd(asm.F(7), asm.F(5), asm.F(6))
+	b.Fmul(asm.F(8), asm.F(7), asm.F(9))
+	b.Add(asm.R(5), asm.R(21), asm.R(3))
+	b.Fst(asm.F(8), asm.R(5), 0)
+	b.Addi(asm.R(11), asm.R(11), 1)
+	b.Blt(asm.R(11), asm.R(2), "col")
+	b.Addi(asm.R(10), asm.R(10), 1)
+	b.Blt(asm.R(10), asm.R(2), "row")
+	// Swap roles of x and y for the next relaxation pass.
+	b.Mov(asm.R(6), asm.R(20))
+	b.Mov(asm.R(20), asm.R(21))
+	b.Mov(asm.R(21), asm.R(6))
+	b.J("iterate")
+	return b.MustBuild()
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"fmt"
+
+	"recyclesim/internal/asm"
+	"recyclesim/internal/program"
+)
+
+// GenParams controls the random program generator used by stress and
+// property tests (and available to library users for custom workloads).
+type GenParams struct {
+	Seed        uint64
+	Blocks      int // basic blocks (>= 2)
+	BlockLen    int // average instructions per block
+	BranchEvery int // 1-in-N block terminators are conditional
+	MemFrac     int // percent of instructions that access memory
+	FPFrac      int // percent of ALU work that is floating point
+	ArrayWords  int // data array size
+}
+
+// DefaultGenParams returns a balanced stress workload.
+func DefaultGenParams(seed uint64) GenParams {
+	return GenParams{
+		Seed:        seed,
+		Blocks:      24,
+		BlockLen:    6,
+		BranchEvery: 2,
+		MemFrac:     25,
+		FPFrac:      20,
+		ArrayWords:  256,
+	}
+}
+
+// Generate builds a random but well-formed, non-terminating program:
+// every register is initialized before the loop, all branch targets are
+// block labels, memory accesses stay inside a private array, and an
+// in-program LCG provides genuinely unpredictable branch conditions.
+func Generate(p GenParams) *program.Program {
+	if p.Blocks < 2 {
+		p.Blocks = 2
+	}
+	if p.BlockLen < 1 {
+		p.BlockLen = 1
+	}
+	if p.ArrayWords < 8 {
+		p.ArrayWords = 8
+	}
+	g := newLCG(p.Seed)
+	b := asm.NewBuilder(fmt.Sprintf("gen-%d", p.Seed))
+
+	init := make([]uint64, p.ArrayWords)
+	for i := range init {
+		init[i] = g.next()
+	}
+	b.Array("data", p.ArrayWords, init...)
+
+	// r20 data pointer; r14/r15 LCG state; r1..r9 scratch; f1..f6 fp.
+	b.La(asm.R(20), "data")
+	for r := 1; r <= 9; r++ {
+		b.Li(asm.R(r), int64(g.below(1000)))
+	}
+	b.Li(asm.R(14), int64(g.below(1<<30)|1))
+	b.Li(asm.R(15), 12345)
+	for f := 1; f <= 6; f++ {
+		b.Ld(asm.R(10), asm.R(20), int64(8*g.below(uint64(p.ArrayWords))))
+		b.CvtIF(asm.F(f), asm.R(10))
+	}
+
+	mask := int64(p.ArrayWords - 1)
+	// Round the mask down to a power-of-two mask.
+	for m := int64(1); ; m <<= 1 {
+		if m > int64(p.ArrayWords) {
+			mask = m>>1 - 1
+			break
+		}
+	}
+
+	blockLabel := func(i int) string { return fmt.Sprintf("b%d", i%p.Blocks) }
+
+	for blk := 0; blk < p.Blocks; blk++ {
+		b.Label(blockLabel(blk))
+		n := p.BlockLen/2 + int(g.below(uint64(p.BlockLen)))
+		for k := 0; k < n; k++ {
+			r := int(g.below(100))
+			switch {
+			case r < p.MemFrac/2: // load
+				b.Andi(asm.R(10), asm.R(int(1+g.below(9))), mask)
+				b.Slli(asm.R(10), asm.R(10), 3)
+				b.Add(asm.R(10), asm.R(20), asm.R(10))
+				b.Ld(asm.R(int(1+g.below(9))), asm.R(10), 0)
+			case r < p.MemFrac: // store
+				b.Andi(asm.R(10), asm.R(int(1+g.below(9))), mask)
+				b.Slli(asm.R(10), asm.R(10), 3)
+				b.Add(asm.R(10), asm.R(20), asm.R(10))
+				b.St(asm.R(int(1+g.below(9))), asm.R(10), 0)
+			case r < p.MemFrac+p.FPFrac: // fp op
+				d, s1, s2 := asm.F(int(1+g.below(6))), asm.F(int(1+g.below(6))), asm.F(int(1+g.below(6)))
+				switch g.below(3) {
+				case 0:
+					b.Fadd(d, s1, s2)
+				case 1:
+					b.Fmul(d, s1, s2)
+				default:
+					b.Fsub(d, s1, s2)
+				}
+			default: // int ALU
+				d, s1, s2 := asm.R(int(1+g.below(9))), asm.R(int(1+g.below(9))), asm.R(int(1+g.below(9)))
+				switch g.below(6) {
+				case 0:
+					b.Add(d, s1, s2)
+				case 1:
+					b.Sub(d, s1, s2)
+				case 2:
+					b.Xor(d, s1, s2)
+				case 3:
+					b.And(d, s1, s2)
+				case 4:
+					b.Addi(d, s1, int64(g.below(64)))
+				default:
+					b.Srli(d, s1, int64(g.below(8)))
+				}
+			}
+		}
+		// Advance the in-program LCG (drives unpredictable branches).
+		b.Li(asm.R(11), 6364136223846793005)
+		b.Mul(asm.R(14), asm.R(14), asm.R(11))
+		b.Addi(asm.R(14), asm.R(14), 1442695040888963407)
+
+		// Terminator.
+		tgt := blockLabel(int(g.below(uint64(p.Blocks))))
+		fall := blockLabel(blk + 1)
+		if int(g.below(uint64(p.BranchEvery))) == 0 {
+			b.Srli(asm.R(12), asm.R(14), 33)
+			b.Andi(asm.R(12), asm.R(12), 1)
+			b.Bne(asm.R(12), asm.R(0), tgt)
+			b.J(fall)
+		} else if g.below(3) == 0 {
+			b.J(tgt)
+		} else {
+			b.J(fall)
+		}
+	}
+	return b.MustBuild()
+}
+
+// GenerateTerminating builds a random program that halts after a
+// bounded amount of work (a counted outer loop around a generated
+// body); used by tests that must observe program completion.
+func GenerateTerminating(seed uint64, iters int64) *program.Program {
+	g := newLCG(seed)
+	b := asm.NewBuilder(fmt.Sprintf("gent-%d", seed))
+	const words = 64
+	init := make([]uint64, words)
+	for i := range init {
+		init[i] = g.next()
+	}
+	b.Array("data", words, init...)
+	b.La(asm.R(20), "data")
+	b.Li(asm.R(13), iters)
+	b.Li(asm.R(14), int64(g.below(1<<30)|1))
+	for r := 1; r <= 6; r++ {
+		b.Li(asm.R(r), int64(g.below(100)))
+	}
+	b.Label("loop")
+	for k := 0; k < 8; k++ {
+		d, s1, s2 := asm.R(int(1+g.below(6))), asm.R(int(1+g.below(6))), asm.R(int(1+g.below(6)))
+		if g.below(2) == 0 {
+			b.Add(d, s1, s2)
+		} else {
+			b.Xor(d, s1, s2)
+		}
+	}
+	b.Andi(asm.R(10), asm.R(1), words-1)
+	b.Slli(asm.R(10), asm.R(10), 3)
+	b.Add(asm.R(10), asm.R(20), asm.R(10))
+	b.Ld(asm.R(2), asm.R(10), 0)
+	b.St(asm.R(3), asm.R(10), 0)
+	// Unpredictable detour.
+	b.Li(asm.R(11), 6364136223846793005)
+	b.Mul(asm.R(14), asm.R(14), asm.R(11))
+	b.Addi(asm.R(14), asm.R(14), 1442695040888963407)
+	b.Srli(asm.R(12), asm.R(14), 33)
+	b.Andi(asm.R(12), asm.R(12), 1)
+	b.Beq(asm.R(12), asm.R(0), "skip")
+	b.Addi(asm.R(4), asm.R(4), 7)
+	b.Label("skip")
+	b.Addi(asm.R(13), asm.R(13), -1)
+	b.Bne(asm.R(13), asm.R(0), "loop")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,466 @@
+package workload
+
+import (
+	"recyclesim/internal/asm"
+	"recyclesim/internal/program"
+)
+
+// Register conventions shared by the kernels: r1..r9 scratch, r10..r15
+// induction/counters, r16..r19 accumulators, r20..r27 data pointers.
+
+// Compress models compress95: a dictionary-based byte-stream coder.
+// Its defining trait in the paper is a data-dependent hit/miss branch
+// with poor predictability (compress gains the most from reuse,
+// Figure 3) plus a modest loop the active list can capture.
+func Compress() *program.Program {
+	b := asm.NewBuilder("compress")
+	g := newLCG(0xC0)
+
+	// A skewed symbol stream over a small alphabet: dictionary hits
+	// dominate after warmup (the hit/miss branch runs ~75% taken,
+	// matching compress95's ~90% overall prediction accuracy) while
+	// staying data-dependent enough that the branch resists the PHT.
+	const inputN, tabN = 2048, 512
+	input := make([]uint64, inputN)
+	for i := range input {
+		var sym uint64
+		if g.below(100) < 60 {
+			sym = g.below(4)
+		} else {
+			sym = g.below(16)
+		}
+		odd := uint64(0)
+		if g.below(100) < 12 {
+			odd = 1
+		}
+		input[i] = sym<<1 | odd
+	}
+	b.Array("input", inputN, input...)
+	b.Array("hashtab", tabN)
+	b.Word("hits", 0)
+	b.Word("misses", 0)
+
+	b.La(asm.R(20), "input")
+	b.La(asm.R(21), "hashtab")
+	b.Li(asm.R(10), 0) // i
+	b.Li(asm.R(3), 0)  // prev byte
+	b.Li(asm.R(16), 0) // hit count
+	b.Li(asm.R(17), 0) // miss count
+
+	b.Label("outer")
+	// c = input[i & (inputN-1)]
+	b.Andi(asm.R(11), asm.R(10), inputN-1)
+	b.Slli(asm.R(12), asm.R(11), 3)
+	b.Add(asm.R(12), asm.R(20), asm.R(12))
+	b.Ld(asm.R(1), asm.R(12), 0)
+	// h = ((prev<<4) ^ c) & (tabN-1)
+	b.Slli(asm.R(2), asm.R(3), 4)
+	b.Xor(asm.R(2), asm.R(2), asm.R(1))
+	b.Andi(asm.R(2), asm.R(2), tabN-1)
+	b.Slli(asm.R(4), asm.R(2), 3)
+	b.Add(asm.R(4), asm.R(21), asm.R(4))
+	b.Ld(asm.R(5), asm.R(4), 0)
+	// Hard-to-predict: dictionary hit?
+	b.Beq(asm.R(5), asm.R(1), "hit")
+	// miss path: install code, widen output estimate
+	b.St(asm.R(1), asm.R(4), 0)
+	b.Addi(asm.R(17), asm.R(17), 1)
+	b.Slli(asm.R(6), asm.R(1), 1)
+	b.Xor(asm.R(18), asm.R(18), asm.R(6))
+	b.J("join")
+	b.Label("hit")
+	// hit path: extend run, emit shorter code
+	b.Addi(asm.R(16), asm.R(16), 1)
+	b.Add(asm.R(18), asm.R(18), asm.R(1))
+	b.Srli(asm.R(7), asm.R(18), 3)
+	b.Label("join")
+	// Second data-dependent branch: low bit of the byte.
+	b.Andi(asm.R(8), asm.R(1), 1)
+	b.Bne(asm.R(8), asm.R(0), "odd")
+	b.Addi(asm.R(19), asm.R(19), 2)
+	b.J("cont")
+	b.Label("odd")
+	b.Addi(asm.R(19), asm.R(19), 3)
+	b.Label("cont")
+	b.Mov(asm.R(3), asm.R(1))
+	b.Addi(asm.R(10), asm.R(10), 1)
+	b.J("outer")
+	return b.MustBuild()
+}
+
+// GCC models the compiler: a token-dispatch state machine with many
+// two-way decisions of mixed predictability and irregular, branchy
+// control flow that fragments fetch blocks.
+func GCC() *program.Program {
+	b := asm.NewBuilder("gcc")
+	g := newLCG(0x6CC)
+
+	// Skewed, bursty token stream: real source code arrives in runs
+	// (identifier identifier op literal ...), which history-based
+	// prediction partially learns — gcc's real accuracy was ~88%.
+	const tokN = 4096
+	toks := make([]uint64, tokN)
+	prev := uint64(0)
+	for i := range toks {
+		if g.below(100) < 62 {
+			toks[i] = prev // continue the current run
+			continue
+		}
+		r := g.below(100)
+		switch {
+		case r < 35:
+			toks[i] = 0
+		case r < 60:
+			toks[i] = 1
+		case r < 75:
+			toks[i] = 2
+		case r < 87:
+			toks[i] = 3
+		case r < 95:
+			toks[i] = 4
+		default:
+			toks[i] = 5
+		}
+		prev = toks[i]
+	}
+	b.Array("tokens", tokN, toks...)
+	b.Array("symtab", 256)
+
+	b.La(asm.R(20), "tokens")
+	b.La(asm.R(21), "symtab")
+	b.Li(asm.R(10), 0) // token index
+	b.Li(asm.R(16), 0) // state
+
+	b.Label("loop")
+	b.Andi(asm.R(11), asm.R(10), tokN-1)
+	b.Slli(asm.R(12), asm.R(11), 3)
+	b.Add(asm.R(12), asm.R(20), asm.R(12))
+	b.Ld(asm.R(1), asm.R(12), 0) // tok
+
+	// Dispatch chain (a compiled switch).
+	b.Li(asm.R(2), 0)
+	b.Beq(asm.R(1), asm.R(2), "case_ident")
+	b.Li(asm.R(2), 1)
+	b.Beq(asm.R(1), asm.R(2), "case_op")
+	b.Li(asm.R(2), 2)
+	b.Beq(asm.R(1), asm.R(2), "case_lit")
+	b.Li(asm.R(2), 3)
+	b.Beq(asm.R(1), asm.R(2), "case_paren")
+	b.Li(asm.R(2), 4)
+	b.Beq(asm.R(1), asm.R(2), "case_kw")
+	// default: error recovery
+	b.Addi(asm.R(16), asm.R(0), 0)
+	b.Addi(asm.R(19), asm.R(19), 1)
+	b.J("next")
+
+	b.Label("case_ident")
+	// Symbol table hash insert/lookup.
+	b.Add(asm.R(3), asm.R(10), asm.R(16))
+	b.Andi(asm.R(3), asm.R(3), 255)
+	b.Slli(asm.R(4), asm.R(3), 3)
+	b.Add(asm.R(4), asm.R(21), asm.R(4))
+	b.Ld(asm.R(5), asm.R(4), 0)
+	b.Bne(asm.R(5), asm.R(0), "ident_hit")
+	b.St(asm.R(10), asm.R(4), 0)
+	b.Label("ident_hit")
+	b.Addi(asm.R(16), asm.R(16), 1)
+	b.J("next")
+
+	b.Label("case_op")
+	// Precedence comparison: depends on running state parity.
+	b.Andi(asm.R(6), asm.R(16), 3)
+	b.Slti(asm.R(7), asm.R(6), 2)
+	b.Bne(asm.R(7), asm.R(0), "op_reduce")
+	b.Addi(asm.R(17), asm.R(17), 1)
+	b.J("next")
+	b.Label("op_reduce")
+	b.Addi(asm.R(16), asm.R(16), 2)
+	b.Addi(asm.R(18), asm.R(18), 1)
+	b.J("next")
+
+	b.Label("case_lit")
+	b.Slli(asm.R(8), asm.R(1), 2)
+	b.Add(asm.R(18), asm.R(18), asm.R(8))
+	b.J("next")
+
+	b.Label("case_paren")
+	b.Addi(asm.R(16), asm.R(16), 4)
+	b.J("next")
+
+	b.Label("case_kw")
+	b.Srli(asm.R(9), asm.R(16), 1)
+	b.Xor(asm.R(16), asm.R(16), asm.R(9))
+	b.Andi(asm.R(16), asm.R(16), 1023)
+
+	b.Label("next")
+	b.Addi(asm.R(10), asm.R(10), 1)
+	b.J("loop")
+	return b.MustBuild()
+}
+
+// Go models the go-playing program: evaluation sweeps over a board with
+// highly data-dependent decisions (the paper's lowest branch prediction
+// accuracy benchmark and TME's biggest winner).
+func Go() *program.Program {
+	b := asm.NewBuilder("go")
+	g := newLCG(0x60)
+
+	// Board with realistic stone density: the empty/stone and
+	// black/white tests stay data-dependent (go95 had the worst branch
+	// prediction accuracy of SPECint, ~75-80%).
+	const boardN = 1024
+	board := make([]uint64, boardN)
+	prev := uint64(0)
+	for i := range board {
+		// Stones cluster into groups; empties cluster into territory.
+		if g.below(100) < 55 {
+			board[i] = prev
+			continue
+		}
+		switch {
+		case g.below(100) < 55:
+			board[i] = 0 // empty
+		case g.below(100) < 55:
+			board[i] = 1 // black
+		default:
+			board[i] = 2 // white
+		}
+		prev = board[i]
+	}
+	b.Array("board", boardN, board...)
+	b.Array("influence", boardN)
+
+	b.La(asm.R(20), "board")
+	b.La(asm.R(21), "influence")
+	b.Li(asm.R(10), 0)
+	b.Li(asm.R(16), 0) // score
+
+	b.Label("sweep")
+	b.Andi(asm.R(11), asm.R(10), boardN-1)
+	b.Slli(asm.R(12), asm.R(11), 3)
+	b.Add(asm.R(1), asm.R(20), asm.R(12))
+	b.Ld(asm.R(2), asm.R(1), 0) // stone
+
+	// Essentially random three-way decision.
+	b.Beq(asm.R(2), asm.R(0), "empty")
+	b.Li(asm.R(3), 1)
+	b.Beq(asm.R(2), asm.R(3), "black")
+	// white stone: subtract influence
+	b.Add(asm.R(4), asm.R(21), asm.R(12))
+	b.Ld(asm.R(5), asm.R(4), 0)
+	b.Addi(asm.R(5), asm.R(5), -1)
+	b.St(asm.R(5), asm.R(4), 0)
+	b.Addi(asm.R(16), asm.R(16), -2)
+	b.J("captures")
+	b.Label("black")
+	b.Add(asm.R(4), asm.R(21), asm.R(12))
+	b.Ld(asm.R(5), asm.R(4), 0)
+	b.Addi(asm.R(5), asm.R(5), 1)
+	b.St(asm.R(5), asm.R(4), 0)
+	b.Addi(asm.R(16), asm.R(16), 2)
+	b.J("captures")
+	b.Label("empty")
+	// Liberty heuristic from neighbours.
+	b.Addi(asm.R(6), asm.R(11), 1)
+	b.Andi(asm.R(6), asm.R(6), boardN-1)
+	b.Slli(asm.R(6), asm.R(6), 3)
+	b.Add(asm.R(6), asm.R(20), asm.R(6))
+	b.Ld(asm.R(7), asm.R(6), 0)
+	b.Add(asm.R(16), asm.R(16), asm.R(7))
+
+	b.Label("captures")
+	// Second data-dependent decision: influence threshold (biased
+	// taken, but the miss cases cluster unpredictably).
+	b.Andi(asm.R(8), asm.R(16), 7)
+	b.Slti(asm.R(9), asm.R(8), 6)
+	b.Beq(asm.R(9), asm.R(0), "skip")
+	b.Addi(asm.R(17), asm.R(17), 1)
+	b.Label("skip")
+	b.Addi(asm.R(10), asm.R(10), 1)
+	b.J("sweep")
+	return b.MustBuild()
+}
+
+// Li models the lisp interpreter: recursive traversal of cons cells
+// through call/return pairs, with data-dependent atom-vs-pair branches.
+// Heavy return-stack traffic and call-fragmented fetch blocks.
+func Li() *program.Program {
+	b := asm.NewBuilder("li")
+	g := newLCG(0x11)
+
+	// A binary "cons tree" in two parallel arrays: car[i], cdr[i].
+	// Index 0 is nil.  Leaves hold small atoms (negative marker).
+	const cells = 512
+	car := make([]uint64, cells)
+	cdr := make([]uint64, cells)
+	for i := 1; i < cells; i++ {
+		if g.below(100) < 45 && i*2+1 < cells {
+			car[i] = uint64(i * 2)
+			cdr[i] = uint64(i*2 + 1)
+		} else {
+			car[i] = ^g.below(64) + 1 // atom: negative value
+			cdr[i] = 0
+		}
+	}
+	b.Array("car", cells, car...)
+	b.Array("cdr", cells, cdr...)
+
+	b.La(asm.R(20), "car")
+	b.La(asm.R(21), "cdr")
+	b.Li(asm.R(10), 1) // root index rotates each outer pass
+	b.Li(asm.R(16), 0)
+
+	b.Label("outer")
+	b.Mov(asm.R(1), asm.R(10)) // arg
+	b.Jal("eval")
+	b.Add(asm.R(16), asm.R(16), asm.R(2))
+	b.Addi(asm.R(10), asm.R(10), 1)
+	b.Andi(asm.R(10), asm.R(10), 255)
+	b.Bne(asm.R(10), asm.R(0), "outer")
+	b.Li(asm.R(10), 1)
+	b.J("outer")
+
+	// eval(r1=index) -> r2=value; uses r3-r5, preserves nothing.
+	// Recursion depth is bounded by the tree shape (<= 9 levels).
+	b.Label("eval")
+	b.Beq(asm.R(1), asm.R(0), "eval_nil")
+	b.Slli(asm.R(3), asm.R(1), 3)
+	b.Add(asm.R(4), asm.R(20), asm.R(3))
+	b.Ld(asm.R(5), asm.R(4), 0) // car
+	// Atom test: negative car means leaf (data-dependent).
+	b.Slti(asm.R(6), asm.R(5), 0)
+	b.Bne(asm.R(6), asm.R(0), "eval_atom")
+	// Pair: eval(car) + eval(cdr), saving state on the stack.
+	b.Addi(asm.R(30), asm.R(30), -24)
+	b.St(asm.R(31), asm.R(30), 0)
+	b.St(asm.R(1), asm.R(30), 8)
+	b.Mov(asm.R(1), asm.R(5))
+	b.Jal("eval")
+	b.St(asm.R(2), asm.R(30), 16) // left value
+	b.Ld(asm.R(1), asm.R(30), 8)
+	b.Slli(asm.R(3), asm.R(1), 3)
+	b.Add(asm.R(4), asm.R(21), asm.R(3))
+	b.Ld(asm.R(1), asm.R(4), 0) // cdr index
+	b.Jal("eval")
+	b.Ld(asm.R(3), asm.R(30), 16)
+	b.Add(asm.R(2), asm.R(2), asm.R(3))
+	b.Ld(asm.R(31), asm.R(30), 0)
+	b.Addi(asm.R(30), asm.R(30), 24)
+	b.Ret()
+	b.Label("eval_atom")
+	b.Sub(asm.R(2), asm.R(0), asm.R(5)) // value = -car
+	b.Ret()
+	b.Label("eval_nil")
+	b.Li(asm.R(2), 0)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// Perl models the script interpreter: hash probes and string-ish scans
+// whose branches are mostly predictable (the paper shows perl with the
+// lowest recycle percentage of the integer codes).
+func Perl() *program.Program {
+	b := asm.NewBuilder("perl")
+	g := newLCG(0x9E1)
+
+	const strN = 4096
+	str := make([]uint64, strN)
+	for i := range str {
+		// Long predictable runs with rare delimiters.
+		if g.below(100) < 7 {
+			str[i] = 0 // delimiter
+		} else {
+			str[i] = 1 + g.below(25)
+		}
+	}
+	b.Array("str", strN, str...)
+	b.Array("hash", 512)
+	b.Word("fields", 0)
+
+	b.La(asm.R(20), "str")
+	b.La(asm.R(21), "hash")
+	b.Li(asm.R(10), 0)
+	b.Li(asm.R(16), 0) // field count
+	b.Li(asm.R(17), 0) // rolling hash
+
+	b.Label("scan")
+	b.Andi(asm.R(11), asm.R(10), strN-1)
+	b.Slli(asm.R(12), asm.R(11), 3)
+	b.Add(asm.R(1), asm.R(20), asm.R(12))
+	b.Ld(asm.R(2), asm.R(1), 0)
+	// Predictable: characters vastly outnumber delimiters.
+	b.Beq(asm.R(2), asm.R(0), "delim")
+	b.Slli(asm.R(3), asm.R(17), 1)
+	b.Add(asm.R(17), asm.R(3), asm.R(2))
+	b.Andi(asm.R(17), asm.R(17), 8191)
+	b.J("adv")
+	b.Label("delim")
+	// Field complete: insert into hash.
+	b.Andi(asm.R(4), asm.R(17), 511)
+	b.Slli(asm.R(4), asm.R(4), 3)
+	b.Add(asm.R(4), asm.R(21), asm.R(4))
+	b.Ld(asm.R(5), asm.R(4), 0)
+	b.Addi(asm.R(5), asm.R(5), 1)
+	b.St(asm.R(5), asm.R(4), 0)
+	b.Addi(asm.R(16), asm.R(16), 1)
+	b.Li(asm.R(17), 0)
+	b.Label("adv")
+	b.Addi(asm.R(10), asm.R(10), 1)
+	b.J("scan")
+	return b.MustBuild()
+}
+
+// Vortex models the object database: pointer chasing through linked
+// records with predictable validity checks; memory-bound, high branch
+// accuracy, so SMT-era machines see little TME benefit but some
+// first-PC recycling.
+func Vortex() *program.Program {
+	b := asm.NewBuilder("vortex")
+	g := newLCG(0x0B)
+
+	// Linked records: next[i] and payload[i]; a few chains woven
+	// through the table.
+	const recN = 1024
+	next := make([]uint64, recN)
+	pay := make([]uint64, recN)
+	perm := make([]int, recN)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := recN - 1; i > 0; i-- {
+		j := int(g.below(uint64(i + 1)))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < recN; i++ {
+		next[perm[i]] = uint64(perm[(i+1)%recN])
+		pay[i] = g.below(1000)
+	}
+	b.Array("next", recN, next...)
+	b.Array("payload", recN, pay...)
+
+	b.La(asm.R(20), "next")
+	b.La(asm.R(21), "payload")
+	b.Li(asm.R(10), 0) // current record
+	b.Li(asm.R(16), 0)
+
+	b.Label("chase")
+	b.Slli(asm.R(1), asm.R(10), 3)
+	b.Add(asm.R(2), asm.R(21), asm.R(1))
+	b.Ld(asm.R(3), asm.R(2), 0) // payload
+	// Predictable validity check (payload < 1000 always true).
+	b.Slti(asm.R(4), asm.R(3), 1000)
+	b.Beq(asm.R(4), asm.R(0), "invalid")
+	b.Add(asm.R(16), asm.R(16), asm.R(3))
+	// Rare branch: payload divisible by 128 pattern.
+	b.Andi(asm.R(5), asm.R(3), 127)
+	b.Bne(asm.R(5), asm.R(0), "nolog")
+	b.Addi(asm.R(17), asm.R(17), 1)
+	b.Label("nolog")
+	b.Add(asm.R(6), asm.R(20), asm.R(1))
+	b.Ld(asm.R(10), asm.R(6), 0) // follow chain
+	b.J("chase")
+	b.Label("invalid")
+	b.Li(asm.R(10), 0)
+	b.J("chase")
+	return b.MustBuild()
+}

@@ -1,0 +1,129 @@
+// Package workload provides the simulator's benchmark programs: eight
+// synthetic kernels standing in for the paper's SPEC95 subset
+// (compress, gcc, go, li, perl, su2cor, tomcatv, vortex), a seeded
+// random-program generator for stress testing, and the multiprogram
+// permutation mixes used by the multi-thread experiments.
+//
+// The kernels are not the SPEC programs (no Alpha binaries exist in
+// this environment); each reproduces the *character* that matters to
+// the paper's mechanisms: branch predictability (what TME forks on),
+// loop shape (what backward-branch recycling captures), control-flow
+// fragmentation (what limits fetch), working-set size, and the
+// integer/floating-point split.  All data is generated from fixed seeds
+// so every run is deterministic.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"recyclesim/internal/program"
+)
+
+// Names lists the benchmark names in the paper's order (Figure 3 and
+// Table 1).
+var Names = []string{
+	"compress", "gcc", "go", "li", "perl", "su2cor", "tomcatv", "vortex",
+}
+
+// ByName builds the named benchmark.  It returns an error for unknown
+// names.
+func ByName(name string) (*program.Program, error) {
+	switch name {
+	case "compress":
+		return Compress(), nil
+	case "gcc":
+		return GCC(), nil
+	case "go":
+		return Go(), nil
+	case "li":
+		return Li(), nil
+	case "perl":
+		return Perl(), nil
+	case "su2cor":
+		return Su2cor(), nil
+	case "tomcatv":
+		return Tomcatv(), nil
+	case "vortex":
+		return Vortex(), nil
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// All builds every benchmark, keyed by name.
+func All() map[string]*program.Program {
+	out := make(map[string]*program.Program, len(Names))
+	for _, n := range Names {
+		p, err := ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out[n] = p
+	}
+	return out
+}
+
+// lcg is the deterministic generator used to synthesize benchmark data.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2862933555777941757 + 3037000493} }
+
+func (g *lcg) next() uint64 {
+	g.s = g.s*6364136223846793005 + 1442695040888963407
+	return g.s >> 17
+}
+
+func (g *lcg) below(n uint64) uint64 { return g.next() % n }
+
+// Mix returns the k-th multiprogram permutation of size n drawn from
+// the benchmark list; the paper averages "eight permutations of the
+// benchmarks that weight each of the benchmarks evenly".  Rotating the
+// benchmark list by k and taking the first n entries gives each
+// benchmark equal representation across the eight mixes.
+func Mix(k, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Names[(k+i*len(Names)/n)%len(Names)])
+	}
+	return out
+}
+
+// Mixes returns the eight permutations of size n.
+func Mixes(n int) [][]string {
+	out := make([][]string, 0, 8)
+	for k := 0; k < 8; k++ {
+		out = append(out, Mix(k, n))
+	}
+	return out
+}
+
+// MixPrograms instantiates the programs of one mix.
+func MixPrograms(names []string) ([]*program.Program, error) {
+	out := make([]*program.Program, 0, len(names))
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CoverageCheck verifies that the mixes weight each benchmark evenly;
+// the workload tests assert this invariant.
+func CoverageCheck(n int) map[string]int {
+	counts := map[string]int{}
+	for _, mix := range Mixes(n) {
+		for _, b := range mix {
+			counts[b]++
+		}
+	}
+	// Deterministic ordering for any diagnostic printing.
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return counts
+}

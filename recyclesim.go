@@ -1,0 +1,159 @@
+// Package recyclesim is a cycle-level simulator of instruction
+// recycling on a multiple-path processor, reproducing Wallace, Tullsen
+// and Calder, "Instruction Recycling on a Multiple-Path Processor"
+// (HPCA 1999).
+//
+// The simulated machine is a wide simultaneous-multithreading (SMT)
+// processor extended with Threaded Multipath Execution (TME): hardware
+// contexts speculatively execute both sides of low-confidence branches.
+// The paper's contribution — and this library's reason to exist — is
+// *instruction recycling*: the per-context active lists already hold
+// decoded traces of recently executed instructions, and when the fetch
+// PC of a thread matches a stored trace's merge point, the trace is
+// injected back into the rename stage, bypassing fetch and decode.
+// Instructions whose operands are unchanged also *reuse* their old
+// results and bypass issue and execution, and inactive traces can be
+// *re-spawned* as new alternate paths without consuming fetch
+// bandwidth.
+//
+// Quick start:
+//
+//	res, err := recyclesim.Run(recyclesim.Options{
+//		Machine:   recyclesim.MachineByName("big.2.16"),
+//		Features:  recyclesim.PresetByName("REC/RS/RU"),
+//		Workloads: []string{"compress"},
+//		MaxInsts:  200_000,
+//	})
+//	fmt.Printf("IPC %.3f\n", res.IPC())
+//
+// See the examples directory for multiprogram runs, fetch-policy
+// sweeps, and custom workloads, and cmd/experiments for the harness
+// that regenerates every figure and table in the paper.
+package recyclesim
+
+import (
+	"fmt"
+
+	"recyclesim/internal/config"
+	"recyclesim/internal/core"
+	"recyclesim/internal/program"
+	"recyclesim/internal/stats"
+	"recyclesim/internal/workload"
+)
+
+// Machine is a hardware configuration (re-exported from the internal
+// config package).
+type Machine = config.Machine
+
+// Features selects the architecture variant (SMT / TME / REC / RU /
+// RS combinations and the alternate-path policy).
+type Features = config.Features
+
+// AltPolicy is the §5.2 alternate-path fetch policy.
+type AltPolicy = config.AltPolicy
+
+// Alternate-path policy values.
+const (
+	AltStop   = config.AltStop
+	AltFetch  = config.AltFetch
+	AltNoStop = config.AltNoStop
+)
+
+// Result carries the statistics of one simulation run.
+type Result = stats.Sim
+
+// Program is an assembled program image.
+type Program = program.Program
+
+// Feature presets matching the paper's figure legends.
+var (
+	SMT     = config.SMT
+	TME     = config.TME
+	REC     = config.REC
+	RECRU   = config.RECRU
+	RECRS   = config.RECRS
+	RECRSRU = config.RECRSRU
+)
+
+// MachineByName returns one of the paper's four machine design points:
+// "big.2.16" (baseline), "big.1.8", "small.1.8", "small.2.8".
+// Unknown names panic: configurations are static program data.
+func MachineByName(name string) Machine {
+	m, ok := config.Machines()[name]
+	if !ok {
+		panic(fmt.Sprintf("recyclesim: unknown machine %q", name))
+	}
+	return m
+}
+
+// PresetByName resolves a figure-legend feature name ("SMT", "TME",
+// "REC", "REC/RU", "REC/RS", "REC/RS/RU").
+func PresetByName(name string) Features {
+	f, ok := config.PresetByName(name)
+	if !ok {
+		panic(fmt.Sprintf("recyclesim: unknown feature preset %q", name))
+	}
+	return f
+}
+
+// FeatureName renders a Features value the way the paper labels it.
+func FeatureName(f Features) string { return config.FeatureName(f) }
+
+// Workloads lists the built-in benchmark names in the paper's order.
+func Workloads() []string { return append([]string(nil), workload.Names...) }
+
+// WorkloadByName builds one of the built-in SPEC95-like benchmarks.
+func WorkloadByName(name string) (*Program, error) { return workload.ByName(name) }
+
+// Mixes returns the eight multiprogram permutations of size n used by
+// the multi-thread experiments.
+func Mixes(n int) [][]string { return workload.Mixes(n) }
+
+// Options configures one simulation run.
+type Options struct {
+	Machine  Machine
+	Features Features
+
+	// Workloads names built-in benchmarks (one partition each).
+	// Programs, when non-empty, is used instead.
+	Workloads []string
+	Programs  []*Program
+
+	// MaxInsts bounds total committed instructions (default 200k).
+	MaxInsts uint64
+	// MaxCycles bounds simulated cycles (default 4*MaxInsts).
+	MaxCycles uint64
+}
+
+// Run executes one simulation and returns its statistics.
+func Run(o Options) (*Result, error) {
+	progs := o.Programs
+	if len(progs) == 0 {
+		if len(o.Workloads) == 0 {
+			return nil, fmt.Errorf("recyclesim: no workloads given")
+		}
+		var err error
+		progs, err = workload.MixPrograms(o.Workloads)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if o.MaxInsts == 0 {
+		o.MaxInsts = 200_000
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 4 * o.MaxInsts
+	}
+	c, err := core.New(o.Machine, o.Features, progs)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(o.MaxInsts, o.MaxCycles), nil
+}
+
+// NewCore builds a core directly for callers that need cycle-stepping,
+// commit hooks, or custom instrumentation (see internal/core for the
+// full surface used by the test suite).
+func NewCore(m Machine, f Features, progs []*Program) (*core.Core, error) {
+	return core.New(m, f, progs)
+}
