@@ -1,0 +1,36 @@
+# Pre-PR gate for the recyclesim repository.
+#
+#   make check       everything below, in order (run before every PR)
+#   make fmt         fail if any file is not gofmt-clean
+#   make vet         go vet over the whole module
+#   make build       compile everything, including examples
+#   make lint        the simulator-specific static analyzers (cmd/recyclelint)
+#   make test        full test suite under the race detector
+#   make invariant   cosim suite with the runtime invariant checker forced on
+
+GO ?= go
+
+.PHONY: check fmt vet build lint test invariant
+
+check: fmt vet build lint test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+lint:
+	$(GO) run ./cmd/recyclelint ./...
+
+test:
+	$(GO) test -race ./...
+
+invariant:
+	$(GO) test -tags siminvariant ./internal/core/

@@ -8,6 +8,9 @@
 //	experiments -fig 6     machine sweep (small/big x 1.8/2.8/2.16)
 //	experiments -all       everything
 //
+// Exit status is 0 on success and 2 on bad flags or figure/table
+// numbers the paper does not have.
+//
 // Absolute IPC differs from the paper (synthetic workloads, not Alpha
 // SPEC95 binaries); the comparisons between configurations are the
 // reproduced result.  See EXPERIMENTS.md for the side-by-side reading.
@@ -16,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"recyclesim/internal/config"
@@ -25,40 +29,59 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure number to regenerate (3, 4, 5, 6)")
-	table := flag.Int("table", 0, "table number to regenerate (1)")
-	all := flag.Bool("all", false, "regenerate everything")
-	insts := flag.Uint64("insts", 300_000, "committed-instruction budget per run")
-	flag.Parse()
-
-	ran := false
-	if *all || *fig == 3 {
-		figure3(*insts)
-		ran = true
-	}
-	if *all || *fig == 4 {
-		figure4(*insts)
-		ran = true
-	}
-	if *all || *table == 1 {
-		table1(*insts)
-		ran = true
-	}
-	if *all || *fig == 5 {
-		figure5(*insts)
-		ran = true
-	}
-	if *all || *fig == 6 {
-		figure6(*insts)
-		ran = true
-	}
-	if !ran {
-		flag.Usage()
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(mach config.Machine, feat config.Features, names []string, insts uint64) *stats.Sim {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure number to regenerate (3, 4, 5, 6)")
+	table := fs.Int("table", 0, "table number to regenerate (1)")
+	all := fs.Bool("all", false, "regenerate everything")
+	insts := fs.Uint64("insts", 300_000, "committed-instruction budget per run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "experiments: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	switch *fig {
+	case 0, 3, 4, 5, 6:
+	default:
+		fmt.Fprintf(stderr, "experiments: no figure %d in the paper (have 3, 4, 5, 6)\n", *fig)
+		return 2
+	}
+	switch *table {
+	case 0, 1:
+	default:
+		fmt.Fprintf(stderr, "experiments: no table %d in the paper (have 1)\n", *table)
+		return 2
+	}
+	if !*all && *fig == 0 && *table == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	if *all || *fig == 3 {
+		figure3(stdout, *insts)
+	}
+	if *all || *fig == 4 {
+		figure4(stdout, *insts)
+	}
+	if *all || *table == 1 {
+		table1(stdout, *insts)
+	}
+	if *all || *fig == 5 {
+		figure5(stdout, *insts)
+	}
+	if *all || *fig == 6 {
+		figure6(stdout, *insts)
+	}
+	return 0
+}
+
+func runSim(mach config.Machine, feat config.Features, names []string, insts uint64) *stats.Sim {
 	progs, err := workload.MixPrograms(names)
 	if err != nil {
 		panic(err)
@@ -82,22 +105,22 @@ func featByName(name string) config.Features {
 
 // figure3 regenerates Figure 3: per-benchmark IPC for the six
 // architectures, one program on the baseline big.2.16 machine.
-func figure3(insts uint64) {
-	fmt.Println("Figure 3: per-benchmark IPC, 1 program, big.2.16")
-	fmt.Printf("%-10s", "program")
+func figure3(w io.Writer, insts uint64) {
+	fmt.Fprintln(w, "Figure 3: per-benchmark IPC, 1 program, big.2.16")
+	fmt.Fprintf(w, "%-10s", "program")
 	for _, p := range presets {
-		fmt.Printf(" %9s", p)
+		fmt.Fprintf(w, " %9s", p)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, bench := range workload.Names {
-		fmt.Printf("%-10s", bench)
+		fmt.Fprintf(w, "%-10s", bench)
 		for _, p := range presets {
-			s := run(config.Big216(), featByName(p), []string{bench}, insts)
-			fmt.Printf(" %9.3f", s.IPC())
+			s := runSim(config.Big216(), featByName(p), []string{bench}, insts)
+			fmt.Fprintf(w, " %9.3f", s.IPC())
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // avgIPC averages IPC over the eight permutation mixes of n programs
@@ -107,13 +130,13 @@ func avgIPC(mach config.Machine, feat config.Features, n int, insts uint64) floa
 	runs := 0
 	if n == 1 {
 		for _, bench := range workload.Names {
-			s := run(mach, feat, []string{bench}, insts)
+			s := runSim(mach, feat, []string{bench}, insts)
 			total += s.IPC()
 			runs++
 		}
 	} else {
 		for _, mix := range workload.Mixes(n) {
-			s := run(mach, feat, mix, insts)
+			s := runSim(mach, feat, mix, insts)
 			total += s.IPC()
 			runs++
 		}
@@ -123,52 +146,52 @@ func avgIPC(mach config.Machine, feat config.Features, n int, insts uint64) floa
 
 // figure4 regenerates Figure 4: average IPC for 1, 2 and 4 programs
 // across the six architectures.
-func figure4(insts uint64) {
-	fmt.Println("Figure 4: average IPC, 1/2/4 programs, big.2.16")
-	fmt.Printf("%-10s", "programs")
+func figure4(w io.Writer, insts uint64) {
+	fmt.Fprintln(w, "Figure 4: average IPC, 1/2/4 programs, big.2.16")
+	fmt.Fprintf(w, "%-10s", "programs")
 	for _, p := range presets {
-		fmt.Printf(" %9s", p)
+		fmt.Fprintf(w, " %9s", p)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, n := range []int{1, 2, 4} {
-		fmt.Printf("%-10d", n)
+		fmt.Fprintf(w, "%-10d", n)
 		for _, p := range presets {
-			fmt.Printf(" %9.3f", avgIPC(config.Big216(), featByName(p), n, insts))
+			fmt.Fprintf(w, " %9.3f", avgIPC(config.Big216(), featByName(p), n, insts))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // table1 regenerates Table 1: recycling statistics under REC/RS/RU.
-func table1(insts uint64) {
-	fmt.Println("Table 1: recycling statistics (REC/RS/RU, big.2.16)")
-	fmt.Println(stats.Table1Header())
+func table1(w io.Writer, insts uint64) {
+	fmt.Fprintln(w, "Table 1: recycling statistics (REC/RS/RU, big.2.16)")
+	fmt.Fprintln(w, stats.Table1Header())
 	feat := featByName("REC/RS/RU")
 	for _, bench := range workload.Names {
-		s := run(config.Big216(), feat, []string{bench}, insts)
-		fmt.Println(s.Table1Row(bench))
+		s := runSim(config.Big216(), feat, []string{bench}, insts)
+		fmt.Fprintln(w, s.Table1Row(bench))
 	}
 	for _, n := range []int{1, 2, 4} {
 		agg := &stats.Sim{}
 		if n == 1 {
 			for _, bench := range workload.Names {
-				agg.Add(run(config.Big216(), feat, []string{bench}, insts))
+				agg.Add(runSim(config.Big216(), feat, []string{bench}, insts))
 			}
 		} else {
 			for _, mix := range workload.Mixes(n) {
-				agg.Add(run(config.Big216(), feat, mix, insts))
+				agg.Add(runSim(config.Big216(), feat, mix, insts))
 			}
 		}
-		fmt.Println(agg.Table1Row(fmt.Sprintf("%d prog avg", n)))
+		fmt.Fprintln(w, agg.Table1Row(fmt.Sprintf("%d prog avg", n)))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // figure5 regenerates Figure 5: the §5.2 alternate-path fetch policies.
-func figure5(insts uint64) {
-	fmt.Println("Figure 5: recycling fetch limits (REC/RS/RU, big.2.16), average IPC")
-	fmt.Printf("%-10s", "programs")
+func figure5(w io.Writer, insts uint64) {
+	fmt.Fprintln(w, "Figure 5: recycling fetch limits (REC/RS/RU, big.2.16), average IPC")
+	fmt.Fprintf(w, "%-10s", "programs")
 	type pol struct {
 		p config.AltPolicy
 		n int
@@ -180,44 +203,44 @@ func figure5(insts uint64) {
 		}
 	}
 	for _, pl := range pols {
-		fmt.Printf(" %10s", fmt.Sprintf("%s-%d", pl.p, pl.n))
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("%s-%d", pl.p, pl.n))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, n := range []int{1, 2, 4} {
-		fmt.Printf("%-10d", n)
+		fmt.Fprintf(w, "%-10d", n)
 		for _, pl := range pols {
 			feat := featByName("REC/RS/RU")
 			feat.AltPolicy = pl.p
 			feat.AltLimit = pl.n
-			fmt.Printf(" %10.3f", avgIPC(config.Big216(), feat, n, insts))
+			fmt.Fprintf(w, " %10.3f", avgIPC(config.Big216(), feat, n, insts))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // figure6 regenerates Figure 6: SMT vs TME vs REC/RS/RU across the
 // four machine design points.
-func figure6(insts uint64) {
-	fmt.Println("Figure 6: machine sweep, average IPC")
+func figure6(w io.Writer, insts uint64) {
+	fmt.Fprintln(w, "Figure 6: machine sweep, average IPC")
 	machines := []config.Machine{
 		config.Small18(), config.Small28(), config.Big18(), config.Big216(),
 	}
-	fmt.Printf("%-10s", "programs")
+	fmt.Fprintf(w, "%-10s", "programs")
 	for _, m := range machines {
 		for _, p := range []string{"SMT", "TME", "REC/RS/RU"} {
-			fmt.Printf(" %16s", m.Name+"/"+p)
+			fmt.Fprintf(w, " %16s", m.Name+"/"+p)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, n := range []int{1, 2, 4} {
-		fmt.Printf("%-10d", n)
+		fmt.Fprintf(w, "%-10d", n)
 		for _, m := range machines {
 			for _, p := range []string{"SMT", "TME", "REC/RS/RU"} {
-				fmt.Printf(" %16.3f", avgIPC(m, featByName(p), n, insts))
+				fmt.Fprintf(w, " %16.3f", avgIPC(m, featByName(p), n, insts))
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }

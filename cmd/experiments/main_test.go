@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunArgs is the table-driven contract for the harness front-end:
+// figure/table numbers the paper does not have, bad flags, and empty
+// invocations all exit 2; a real (tiny) regeneration exits 0.
+func TestRunArgs(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    int
+		wantOut string // substring required on stdout
+		wantErr string // substring required on stderr
+	}{
+		{
+			name:    "tiny figure 3 run",
+			args:    []string{"-fig", "3", "-insts", "300"},
+			want:    0,
+			wantOut: "Figure 3",
+		},
+		{
+			name:    "unknown figure",
+			args:    []string{"-fig", "7"},
+			want:    2,
+			wantErr: "no figure 7",
+		},
+		{
+			name:    "unknown table",
+			args:    []string{"-table", "2"},
+			want:    2,
+			wantErr: "no table 2",
+		},
+		{
+			name:    "nothing selected prints usage",
+			args:    nil,
+			want:    2,
+			wantErr: "Usage",
+		},
+		{
+			name: "bad flag",
+			args: []string{"-definitely-not-a-flag"},
+			want: 2,
+		},
+		{
+			name: "bad flag value",
+			args: []string{"-fig", "three"},
+			want: 2,
+		},
+		{
+			name:    "stray positional argument",
+			args:    []string{"everything"},
+			want:    2,
+			wantErr: "unexpected argument",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%q) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, got, tc.want, stdout.String(), stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+		})
+	}
+}

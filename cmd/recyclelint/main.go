@@ -1,0 +1,93 @@
+// Command recyclelint runs the simulator-specific static-analysis
+// suite (internal/lint) over the module and exits non-zero on findings.
+// It is part of the pre-PR gate (`make check`).
+//
+// Usage:
+//
+//	recyclelint [-rules determinism,deadstat,...] [-list] [dir]
+//
+// dir defaults to the current directory; the whole enclosing module is
+// always loaded (the analyzers reason across packages).  Findings can
+// be suppressed with `//simlint:ignore <rule> [-- reason]` on or above
+// the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"recyclesim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("recyclelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		// Accept `./...`-style patterns for familiarity; the module is
+		// always loaded whole.
+		dir = strings.TrimSuffix(fs.Arg(0), "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	default:
+		fmt.Fprintln(stderr, "usage: recyclelint [-rules r1,r2] [-list] [dir]")
+		return 2
+	}
+
+	prog, err := lint.Load(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	analyzers := lint.Default(prog.ModPath)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	if *rules != "" {
+		byName := map[string]lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name()] = a
+		}
+		var sel []lint.Analyzer
+		for _, r := range strings.Split(*rules, ",") {
+			a, ok := byName[strings.TrimSpace(r)]
+			if !ok {
+				fmt.Fprintf(stderr, "recyclelint: unknown rule %q\n", strings.TrimSpace(r))
+				return 2
+			}
+			sel = append(sel, a)
+		}
+		analyzers = sel
+	}
+
+	diags := lint.Run(prog, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "recyclelint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	recyclesim -machine big.2.16 -features REC/RS/RU -workloads compress,gcc -insts 500000
+//
+// Exit status is 0 on success, 1 when the simulation itself fails, and
+// 2 on bad flags or unknown machine/feature/workload names.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,23 +21,46 @@ import (
 )
 
 func main() {
-	machine := flag.String("machine", "big.2.16", "machine configuration: big.2.16, big.1.8, small.1.8, small.2.8")
-	features := flag.String("features", "REC/RS/RU", "architecture: SMT, TME, REC, REC/RU, REC/RS, REC/RS/RU")
-	workloads := flag.String("workloads", "compress", "comma-separated benchmark names (see -list)")
-	insts := flag.Uint64("insts", 500_000, "committed-instruction budget")
-	policy := flag.String("altpolicy", "nostop", "alternate-path policy: stop, fetch, nostop")
-	limit := flag.Int("altlimit", 32, "alternate-path instruction limit")
-	list := flag.Bool("list", false, "list built-in workloads and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("recyclesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	machine := fs.String("machine", "big.2.16", "machine configuration: "+strings.Join(recyclesim.MachineNames(), ", "))
+	features := fs.String("features", "REC/RS/RU", "architecture: "+strings.Join(recyclesim.PresetNames(), ", "))
+	workloads := fs.String("workloads", "compress", "comma-separated benchmark names (see -list)")
+	insts := fs.Uint64("insts", 500_000, "committed-instruction budget")
+	policy := fs.String("altpolicy", "nostop", "alternate-path policy: stop, fetch, nostop")
+	limit := fs.Int("altlimit", 32, "alternate-path instruction limit")
+	list := fs.Bool("list", false, "list built-in workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "recyclesim: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
 
 	if *list {
 		for _, n := range recyclesim.Workloads() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 
-	feat := recyclesim.PresetByName(*features)
+	mach, ok := recyclesim.LookupMachine(*machine)
+	if !ok {
+		fmt.Fprintf(stderr, "recyclesim: unknown machine %q (known: %s)\n",
+			*machine, strings.Join(recyclesim.MachineNames(), ", "))
+		return 2
+	}
+	feat, ok := recyclesim.LookupPreset(*features)
+	if !ok {
+		fmt.Fprintf(stderr, "recyclesim: unknown feature preset %q (known: %s)\n",
+			*features, strings.Join(recyclesim.PresetNames(), ", "))
+		return 2
+	}
 	switch *policy {
 	case "stop":
 		feat.AltPolicy = recyclesim.AltStop
@@ -42,38 +69,51 @@ func main() {
 	case "nostop":
 		feat.AltPolicy = recyclesim.AltNoStop
 	default:
-		fmt.Fprintf(os.Stderr, "unknown alt policy %q\n", *policy)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "recyclesim: unknown alt policy %q (known: stop, fetch, nostop)\n", *policy)
+		return 2
 	}
 	feat.AltLimit = *limit
 
 	names := strings.Split(*workloads, ",")
+	known := map[string]bool{}
+	for _, n := range recyclesim.Workloads() {
+		known[n] = true
+	}
+	for _, n := range names {
+		if !known[n] {
+			fmt.Fprintf(stderr, "recyclesim: unknown workload %q (known: %s)\n",
+				n, strings.Join(recyclesim.Workloads(), ", "))
+			return 2
+		}
+	}
+
 	res, err := recyclesim.Run(recyclesim.Options{
-		Machine:   recyclesim.MachineByName(*machine),
+		Machine:   mach,
 		Features:  feat,
 		Workloads: names,
 		MaxInsts:  *insts,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
-	fmt.Printf("machine    %s\n", *machine)
-	fmt.Printf("features   %s (alt %s-%d)\n", recyclesim.FeatureName(feat), feat.AltPolicy, feat.AltLimit)
-	fmt.Printf("workloads  %s\n", strings.Join(names, ", "))
-	fmt.Printf("cycles     %d\n", res.Cycles)
-	fmt.Printf("committed  %d\n", res.Committed)
-	fmt.Printf("IPC        %.3f\n", res.IPC())
-	fmt.Printf("mispredict %.2f%%  (coverage %.1f%%)\n", 100*res.MispredictRate(), res.BranchMissCoverage())
-	fmt.Printf("recycled   %.1f%% of renamed;  reused %.1f%%\n", res.PctRecycled(), res.PctReused())
-	fmt.Printf("forks      %d (respawns %d)  merges %d (%.1f%% backward)\n",
+	fmt.Fprintf(stdout, "machine    %s\n", *machine)
+	fmt.Fprintf(stdout, "features   %s (alt %s-%d)\n", recyclesim.FeatureName(feat), feat.AltPolicy, feat.AltLimit)
+	fmt.Fprintf(stdout, "workloads  %s\n", strings.Join(names, ", "))
+	fmt.Fprintf(stdout, "cycles     %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "committed  %d\n", res.Committed)
+	fmt.Fprintf(stdout, "IPC        %.3f\n", res.IPC())
+	fmt.Fprintf(stdout, "mispredict %.2f%%  (coverage %.1f%%)\n", 100*res.MispredictRate(), res.BranchMissCoverage())
+	fmt.Fprintf(stdout, "recycled   %.1f%% of renamed;  reused %.1f%%\n", res.PctRecycled(), res.PctReused())
+	fmt.Fprintf(stdout, "forks      %d (respawns %d)  merges %d (%.1f%% backward)\n",
 		res.Forks, res.Respawns, res.Merges, res.PctBackMerges())
-	fmt.Printf("renamed    %d  squashed %d  fetched %d\n", res.Renamed, res.Squashed, res.Fetched)
-	fmt.Printf("stalls     regs=%d al=%d iq=%d reclaims=%d\n",
+	fmt.Fprintf(stdout, "renamed    %d  squashed %d  fetched %d\n", res.Renamed, res.Squashed, res.Fetched)
+	fmt.Fprintf(stdout, "stalls     regs=%d al=%d iq=%d reclaims=%d\n",
 		res.RenameStallRegs, res.RenameStallAL, res.IQFullStalls, res.Reclaims)
-	fmt.Printf("forkfail   noctx=%d reusepin=%d\n", res.ForkFailNoCtx, res.ForkFailReuse)
+	fmt.Fprintf(stdout, "forkfail   noctx=%d reusepin=%d\n", res.ForkFailNoCtx, res.ForkFailReuse)
 	for i, n := range res.PerProgram {
-		fmt.Printf("program %d  committed %d\n", i, n)
+		fmt.Fprintf(stdout, "program %d  committed %d\n", i, n)
 	}
+	return 0
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunArgs is the table-driven contract for the CLI front-end: bad
+// flags and unknown names exit 2 with a diagnostic naming the valid
+// choices, valid invocations exit 0.
+func TestRunArgs(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    int
+		wantOut string // substring required on stdout
+		wantErr string // substring required on stderr
+	}{
+		{
+			name:    "tiny run succeeds",
+			args:    []string{"-workloads", "compress", "-insts", "2000"},
+			want:    0,
+			wantOut: "IPC",
+		},
+		{
+			name:    "list workloads",
+			args:    []string{"-list"},
+			want:    0,
+			wantOut: "compress",
+		},
+		{
+			name:    "unknown machine",
+			args:    []string{"-machine", "huge.9.99"},
+			want:    2,
+			wantErr: `unknown machine "huge.9.99"`,
+		},
+		{
+			name:    "unknown feature preset",
+			args:    []string{"-features", "REC/XX"},
+			want:    2,
+			wantErr: `unknown feature preset "REC/XX"`,
+		},
+		{
+			name:    "unknown workload",
+			args:    []string{"-workloads", "compress,notabench"},
+			want:    2,
+			wantErr: `unknown workload "notabench"`,
+		},
+		{
+			name:    "unknown alt policy",
+			args:    []string{"-altpolicy", "sometimes"},
+			want:    2,
+			wantErr: `unknown alt policy "sometimes"`,
+		},
+		{
+			name: "bad flag",
+			args: []string{"-definitely-not-a-flag"},
+			want: 2,
+		},
+		{
+			name: "bad flag value",
+			args: []string{"-insts", "many"},
+			want: 2,
+		},
+		{
+			name:    "stray positional argument",
+			args:    []string{"compress"},
+			want:    2,
+			wantErr: "unexpected argument",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%q) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, got, tc.want, stdout.String(), stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+		})
+	}
+}

@@ -78,10 +78,11 @@ func New(cfg Config) *Predictor {
 // with the branch so prediction structures can be repaired on a squash
 // and trained on commit.
 type Pred struct {
-	Taken  bool
-	Target uint64
-	GHist  uint64 // history value used for the PHT index
-	RASTop int    // return-stack pointer before this instruction
+	Taken   bool
+	Target  uint64
+	GHist   uint64 // history value used for the PHT index
+	RASTop  int    // return-stack pointer before this instruction
+	BTBMiss bool   // indirect jump found no BTB entry (fell through)
 }
 
 func (p *Predictor) phtIndex(pc, hist uint64) int {
@@ -109,6 +110,7 @@ func (p *Predictor) Lookup(ctx int, pc uint64, in isa.Inst) Pred {
 			pr.Target = t
 		} else {
 			pr.Target = pc + isa.InstBytes // no target known: fall through
+			pr.BTBMiss = true
 		}
 	case in.IsBranch(): // direct jump or call
 		pr.Taken = true

@@ -165,6 +165,13 @@ type Features struct {
 	// the first disagreement with the current predictor (the default,
 	// the paper's chosen "latter method").
 	TrustTrace bool
+
+	// InvariantEvery, when non-zero, runs the runtime invariant
+	// checker over the whole machine every N cycles; any violation
+	// panics with a cycle-stamped dump (see internal/invariant).  Zero
+	// disables checking unless the simulator was built with the
+	// siminvariant build tag, which supplies a default period.
+	InvariantEvery uint64
 }
 
 // Named feature presets matching the paper's figure legends.

@@ -77,6 +77,11 @@ type Core struct {
 
 	rrCommit int // round-robin pointer for commit bandwidth
 
+	// invariantEvery, when non-zero, runs CheckInvariants every N
+	// cycles (resolved from Features.InvariantEvery or the
+	// siminvariant build-tag default at construction).
+	invariantEvery uint64
+
 	Stats *stats.Sim
 
 	// CommitHook, when set, observes every committed instruction.
@@ -122,6 +127,10 @@ func New(mach config.Machine, feat config.Features, progs []*program.Program) (*
 		written: recycle.NewWrittenBits(mach.Contexts),
 		mdb:     recycle.NewMDB(mdbCapacity),
 		Stats:   &stats.Sim{},
+	}
+	c.invariantEvery = feat.InvariantEvery
+	if c.invariantEvery == 0 {
+		c.invariantEvery = defaultInvariantEvery
 	}
 
 	for i := 0; i < mach.Contexts; i++ {
@@ -190,7 +199,11 @@ func (c *Core) Cycle() {
 	c.issue()
 	c.rename()
 	c.fetch()
+	//simlint:ignore deadstat -- monotonic snapshot of the cycle counter, not an increment
 	c.Stats.Cycles = c.cycle
+	if c.invariantEvery != 0 && c.cycle%c.invariantEvery == 0 {
+		c.CheckInvariants().MustOK(c.dumpState)
+	}
 }
 
 // Run simulates until maxCommits instructions have committed in total,
@@ -241,6 +254,12 @@ func (c *Core) undoEntry(t *Context, e *alist.Entry) {
 	if e.Inst.WritesReg() && e.NewMap != regfile.NoReg {
 		t.mapTab[e.Inst.Rd] = e.OldMap
 		c.rf.Release(e.NewMap)
+		// The squash stales this context's column for the register: if
+		// the primary reuse-installed this entry's mapping (which
+		// cleared the bit), the trace's view and the primary's mapping
+		// no longer agree, so future reuse of this register from this
+		// trace must be blocked.
+		c.written.MarkWritten(e.Inst.Rd, 1<<uint(t.id))
 	}
 	if e.Reused && e.ReuseSrc >= 0 && e.ReuseSrc < len(c.ctxs) {
 		if c.ctxs[e.ReuseSrc].outstandingReuse > 0 {

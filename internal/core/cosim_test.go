@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"recyclesim/internal/config"
@@ -156,19 +158,63 @@ func TestCosimTerminating(t *testing.T) {
 
 // TestDeterminism: identical configurations must produce identical
 // cycle counts and statistics.
+// TestDeterminism is the reproducibility witness: the same machine,
+// features, and workload run twice in one process must produce a
+// byte-identical commit stream (every field of every CommitInfo) and a
+// byte-identical statistics structure, not just matching headline
+// numbers.  Any divergence — scheduling, map iteration, a stray global
+// — shows up as the first differing line.
 func TestDeterminism(t *testing.T) {
-	run := func() (uint64, uint64, uint64) {
-		p, _ := workload.ByName("compress")
-		c, err := New(config.Big216(), config.RECRSRU, []*program.Program{p})
+	witness := func(feat config.Features, names []string, maxInsts uint64) (string, string) {
+		progs, err := workload.MixPrograms(names)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := c.Run(25_000, 1_000_000)
-		return s.Cycles, s.Recycled, s.Reused
+		c, err := New(config.Big216(), feat, progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var commits strings.Builder
+		c.CommitHook = func(ci CommitInfo) {
+			fmt.Fprintf(&commits, "p%d c%d pc=%x %v res=%x addr=%x taken=%t reused=%t\n",
+				ci.Program, ci.Ctx, ci.PC, ci.Inst, ci.Result, ci.Addr, ci.Taken, ci.Reused)
+		}
+		s := c.Run(maxInsts, 40*maxInsts+10_000)
+		return fmt.Sprintf("%+v", *s), commits.String()
 	}
-	c1, r1, u1 := run()
-	c2, r2, u2 := run()
-	if c1 != c2 || r1 != r2 || u1 != u2 {
-		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", c1, r1, u1, c2, r2, u2)
+	cases := []struct {
+		name  string
+		feat  config.Features
+		names []string
+	}{
+		{"TME single", config.TME, []string{"compress"}},
+		{"RECRSRU single", config.RECRSRU, []string{"compress"}},
+		{"RECRSRU multiprogram", config.RECRSRU, []string{"go", "li"}},
 	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s1, c1 := witness(tc.feat, tc.names, 20_000)
+			s2, c2 := witness(tc.feat, tc.names, 20_000)
+			if c1 == "" {
+				t.Fatal("no instructions committed")
+			}
+			if s1 != s2 {
+				t.Errorf("stats differ between identical runs:\n run 1: %s\n run 2: %s", s1, s2)
+			}
+			if c1 != c2 {
+				t.Errorf("commit streams differ between identical runs: %s", firstDiff(c1, c2))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line of two commit streams.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths %d vs %d lines", len(al), len(bl))
 }

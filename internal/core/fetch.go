@@ -72,6 +72,9 @@ func (c *Core) fetch() {
 			}
 			if in.IsBranch() {
 				pr := c.pred.Lookup(t.id, pc, in)
+				if pr.BTBMiss {
+					c.Stats.BTBMisses++
+				}
 				c.pred.SpecUpdate(t.id, in, pc, pr)
 				fe := t.pushFetch(pc, in, readyAt)
 				fe.pred = pr

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"recyclesim/internal/alist"
+	"recyclesim/internal/invariant"
+	"recyclesim/internal/iq"
+	"recyclesim/internal/isa"
+	"recyclesim/internal/regfile"
+)
+
+// defaultInvariantEvery is the checker period used when
+// Features.InvariantEvery is zero.  It stays zero (checker off) in
+// normal builds; the siminvariant build tag overrides it (see
+// invariant_tag.go).
+var defaultInvariantEvery uint64 = 0
+
+// CheckInvariants sweeps the machine's cross-structure invariants and
+// returns the findings.  It is called periodically from Cycle when
+// enabled, and directly (every cycle) by the stress tests.  The sweep
+// is read-only.
+//
+// Checked invariants:
+//
+//   - register refcount conservation: the free lists and refcounts are
+//     mutually consistent (no double-free, no referenced-but-free);
+//   - refcount accounting: every register's refcount equals the number
+//     of reachable holders — occurrences in live map tables plus
+//     uncommitted active-list OldMaps — so nothing leaks or is freed
+//     early;
+//   - active-list structure: sequence pointers ordered, ring slots
+//     self-consistent, committed flags matching the commit pointer;
+//   - idle contexts hold no resources;
+//   - instruction queue membership, both directions: everything queued
+//     is a live un-issued entry, and every dispatched un-issued entry
+//     is queued exactly once;
+//   - exec/pending-store liveness: in-flight executions reference live
+//     entries only;
+//   - store-queue consistency with the active list;
+//   - outstanding-reuse conservation: each context's pin count equals
+//     the number of uncommitted reused entries naming it as source;
+//   - written-bit coherence: a clear bit promises an unchanged mapping
+//     (checked where the trace itself did not write the register).
+func (c *Core) CheckInvariants() *invariant.Report {
+	r := invariant.NewReport(c.cycle)
+	c.checkRegfile(r)
+	c.checkContexts(r)
+	c.checkQueues(r)
+	c.checkReuse(r)
+	c.checkWrittenBits(r)
+	return r
+}
+
+// checkRegfile verifies free-list/refcount consistency and then full
+// refcount accounting against the reachable holders.
+func (c *Core) checkRegfile(r *invariant.Report) {
+	if err := c.rf.CheckConservation(); err != nil {
+		r.Failf("regfile", "%v", err)
+	}
+	n := c.rf.NumInt + c.rf.NumFP
+	expected := make([]int32, n)
+	for _, t := range c.ctxs {
+		if t.hasMap {
+			for l := 1; l < isa.NumRegs; l++ {
+				if pr := t.mapTab[l]; pr != regfile.NoReg {
+					expected[pr]++
+				}
+			}
+		}
+		for s := t.al.CommitSeq(); s < t.al.TailSeq(); s++ {
+			e, ok := t.al.At(s)
+			if !ok {
+				continue
+			}
+			if e.OldMap != regfile.NoReg {
+				expected[e.OldMap]++
+			}
+		}
+	}
+	for pr := 0; pr < n; pr++ {
+		got := c.rf.Refs(regfile.PhysReg(pr))
+		if got != int(expected[pr]) {
+			r.Failf("refcount", "p%d has refcount %d but %d reachable holder(s) (map tables + uncommitted OldMaps): %s",
+				pr, got, expected[pr], leakKind(got, int(expected[pr])))
+		}
+	}
+}
+
+func leakKind(got, want int) string {
+	if got > want {
+		return "leaked references"
+	}
+	return "premature release pending"
+}
+
+// checkContexts verifies active-list structure, idle-context hygiene,
+// store-queue consistency, and partition primary sanity.
+func (c *Core) checkContexts(r *invariant.Report) {
+	for _, t := range c.ctxs {
+		al := t.al
+		if !(al.FirstSeq() <= al.CommitSeq() && al.CommitSeq() <= al.TailSeq()) {
+			r.Failf("alist", "ctx=%d sequence pointers disordered: first=%d commit=%d tail=%d",
+				t.id, al.FirstSeq(), al.CommitSeq(), al.TailSeq())
+			continue
+		}
+		for s := al.FirstSeq(); s < al.TailSeq(); s++ {
+			e, ok := al.At(s)
+			if !ok {
+				r.Failf("alist", "ctx=%d retained seq=%d not addressable", t.id, s)
+				continue
+			}
+			if e.Seq != s {
+				r.Failf("alist", "ctx=%d ring slot for seq=%d holds seq=%d", t.id, s, e.Seq)
+			}
+			if e.Ctx != t.id {
+				r.Failf("alist", "ctx=%d seq=%d entry claims ctx=%d", t.id, s, e.Ctx)
+			}
+			if want := s < al.CommitSeq(); e.Committed != want {
+				r.Failf("alist", "ctx=%d seq=%d Committed=%v but commit pointer is %d", t.id, s, e.Committed, al.CommitSeq())
+			}
+		}
+
+		if t.state == CtxIdle {
+			switch {
+			case al.Len() != 0:
+				r.Failf("idle", "ctx=%d idle with %d retained active-list entries", t.id, al.Len())
+			case t.hasMap:
+				r.Failf("idle", "ctx=%d idle but still holds a register map", t.id)
+			case t.outstandingReuse != 0:
+				r.Failf("idle", "ctx=%d idle with outstandingReuse=%d", t.id, t.outstandingReuse)
+			case len(t.fq) != 0 || len(t.sq) != 0 || t.stream != nil:
+				r.Failf("idle", "ctx=%d idle with fetch/store/stream state", t.id)
+			case t.isPrimary:
+				r.Failf("idle", "ctx=%d idle but marked primary", t.id)
+			}
+			continue
+		}
+
+		// Store queue: ordered, and every slot names a live uncommitted
+		// store.  Conversely every dispatched, issuable, uncommitted
+		// store must have a slot (cancelIssue drops slots only for
+		// NoIssue stores without a generated address).
+		for i := range t.sq {
+			s := &t.sq[i]
+			if i > 0 && t.sq[i-1].seq >= s.seq {
+				r.Failf("storeq", "ctx=%d store queue out of order at slot %d (seq %d after %d)",
+					t.id, i, s.seq, t.sq[i-1].seq)
+			}
+			e, ok := al.At(s.seq)
+			if !ok || !e.Inst.IsStore() || e.Committed {
+				r.Failf("storeq", "ctx=%d store-queue slot seq=%d has no live uncommitted store entry", t.id, s.seq)
+			}
+		}
+		for s := al.CommitSeq(); s < al.TailSeq(); s++ {
+			e, _ := al.At(s)
+			if e == nil || !e.Inst.IsStore() || !e.Dispatched || e.NoIssue {
+				continue
+			}
+			found := false
+			for i := range t.sq {
+				if t.sq[i].seq == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				r.Failf("storeq", "ctx=%d dispatched store seq=%d missing from store queue", t.id, s)
+			}
+		}
+	}
+
+	for _, p := range c.parts {
+		if p.done {
+			continue
+		}
+		t := c.ctxs[p.primary]
+		switch {
+		case !t.isPrimary:
+			r.Failf("primary", "partition %d primary ctx=%d not marked primary (state=%v)", p.id, t.id, t.state)
+		case t.state != CtxActive:
+			r.Failf("primary", "partition %d primary ctx=%d in state %v", p.id, t.id, t.state)
+		case !t.hasMap:
+			r.Failf("primary", "partition %d primary ctx=%d has no register map", p.id, t.id)
+		}
+	}
+}
+
+// checkQueues verifies instruction-queue membership in both directions
+// and the liveness of the exec and pending-store lists.
+func (c *Core) checkQueues(r *invariant.Report) {
+	inQueue := map[*alist.Entry]string{}
+	audit := func(name string, q *iq.Queue) {
+		q.Each(func(e *alist.Entry) {
+			if prev, dup := inQueue[e]; dup {
+				r.Failf("iq", "ctx=%d seq=%d queued twice (%s and %s)", e.Ctx, e.Seq, prev, name)
+			}
+			inQueue[e] = name
+			t := c.ctxs[e.Ctx]
+			live, ok := t.al.At(e.Seq)
+			switch {
+			case !ok || live != e:
+				r.Failf("iq", "%s holds stale entry ctx=%d seq=%d (squashed or recycled slot)", name, e.Ctx, e.Seq)
+			case e.Committed:
+				r.Failf("iq", "%s holds committed entry ctx=%d seq=%d", name, e.Ctx, e.Seq)
+			case !e.Dispatched || e.Issued || e.Executed:
+				r.Failf("iq", "%s entry ctx=%d seq=%d has inconsistent flags (disp=%v issued=%v exec=%v)",
+					name, e.Ctx, e.Seq, e.Dispatched, e.Issued, e.Executed)
+			}
+		})
+	}
+	audit("iqInt", c.iqInt)
+	audit("iqFP", c.iqFP)
+
+	for _, t := range c.ctxs {
+		for s := t.al.CommitSeq(); s < t.al.TailSeq(); s++ {
+			e, _ := t.al.At(s)
+			if e == nil || !e.Dispatched || e.Issued || e.Executed || e.NoIssue {
+				continue
+			}
+			if _, ok := inQueue[e]; !ok {
+				r.Failf("iq", "ctx=%d seq=%d dispatched and issuable but in no instruction queue", t.id, s)
+			}
+		}
+	}
+
+	seen := map[*alist.Entry]bool{}
+	liveInFlight := func(name string, e *alist.Entry) {
+		if seen[e] {
+			r.Failf("exec", "ctx=%d seq=%d appears twice in in-flight lists", e.Ctx, e.Seq)
+		}
+		seen[e] = true
+		t := c.ctxs[e.Ctx]
+		live, ok := t.al.At(e.Seq)
+		switch {
+		case !ok || live != e:
+			r.Failf("exec", "%s holds stale entry ctx=%d seq=%d", name, e.Ctx, e.Seq)
+		case !e.Issued || e.Executed:
+			r.Failf("exec", "%s entry ctx=%d seq=%d has inconsistent flags (issued=%v exec=%v)",
+				name, e.Ctx, e.Seq, e.Issued, e.Executed)
+		}
+	}
+	for _, e := range c.exec {
+		liveInFlight("exec", e)
+	}
+	for _, e := range c.pendingSt {
+		liveInFlight("pendingSt", e)
+		if !e.Inst.IsStore() {
+			r.Failf("exec", "pendingSt holds non-store ctx=%d seq=%d", e.Ctx, e.Seq)
+		}
+	}
+}
+
+// checkReuse verifies outstanding-reuse conservation: each context's
+// pin count equals the number of uncommitted reused entries anywhere
+// that name it as their source (§3.5's reclaim constraint depends on
+// this counter being exact).
+func (c *Core) checkReuse(r *invariant.Report) {
+	counts := make([]int, len(c.ctxs))
+	for _, t := range c.ctxs {
+		for s := t.al.CommitSeq(); s < t.al.TailSeq(); s++ {
+			e, _ := t.al.At(s)
+			if e == nil || !e.Reused {
+				continue
+			}
+			if e.ReuseSrc < 0 || e.ReuseSrc >= len(c.ctxs) {
+				r.Failf("reuse", "ctx=%d seq=%d reused with invalid source %d", t.id, s, e.ReuseSrc)
+				continue
+			}
+			counts[e.ReuseSrc]++
+		}
+	}
+	for _, t := range c.ctxs {
+		if t.outstandingReuse != counts[t.id] {
+			r.Failf("reuse", "ctx=%d outstandingReuse=%d but %d uncommitted reused entries name it as source",
+				t.id, t.outstandingReuse, counts[t.id])
+		}
+	}
+}
+
+// checkWrittenBits verifies written-bit coherence after reuse: for a
+// non-primary context a, a clear bit (reg, a) promises the primary has
+// not re-instanced reg since a's path started.  Where a's own trace
+// also never wrote reg, both map tables must therefore still agree
+// (they were identical at fork).  Cases the bit-array handles
+// conservatively (promotion's SetAll, reuse's ClearFor on a register
+// the trace wrote) are excluded by the preconditions.
+func (c *Core) checkWrittenBits(r *invariant.Report) {
+	for _, p := range c.parts {
+		prim := c.ctxs[p.primary]
+		if !prim.isPrimary || !prim.hasMap {
+			continue // reported by checkContexts when unexpected
+		}
+		for _, id := range p.ctxIDs {
+			a := c.ctxs[id]
+			if a == prim || a.state == CtxIdle || a.state == CtxRetiring || !a.hasMap {
+				continue
+			}
+			wrote := ctxWroteRegs(a)
+			for l := 1; l < isa.NumRegs; l++ {
+				if wrote[l] || c.written.Changed(isa.Reg(l), a.id) {
+					continue
+				}
+				if prim.mapTab[l] != a.mapTab[l] {
+					r.Failf("written", "reg r%d: bit clear for ctx=%d yet primary ctx=%d maps p%d while ctx maps p%d",
+						l, a.id, prim.id, prim.mapTab[l], a.mapTab[l])
+				}
+			}
+		}
+	}
+}
+
+// ctxWroteRegs returns, per logical register, whether any retained
+// entry of t writes it (one active-list scan per sweep).
+func ctxWroteRegs(t *Context) [isa.NumRegs]bool {
+	var wrote [isa.NumRegs]bool
+	for s := t.al.FirstSeq(); s < t.al.TailSeq(); s++ {
+		if e, ok := t.al.At(s); ok && e.Inst.WritesReg() {
+			wrote[e.Inst.Rd] = true
+		}
+	}
+	return wrote
+}
+
+// dumpState renders a cycle-stamped snapshot of the machine for the
+// invariant panic message.
+func (c *Core) dumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine state at cycle %d:\n", c.cycle)
+	fmt.Fprintf(&b, "  regfile: int free %d/%d, fp free %d/%d\n",
+		c.rf.FreeCount(false), c.rf.NumInt, c.rf.FreeCount(true), c.rf.NumFP)
+	fmt.Fprintf(&b, "  iq: int %d/%d, fp %d/%d; exec=%d pendingSt=%d\n",
+		c.iqInt.Len(), c.iqInt.Capacity(), c.iqFP.Len(), c.iqFP.Capacity(),
+		len(c.exec), len(c.pendingSt))
+	for _, t := range c.ctxs {
+		if t.state == CtxIdle {
+			fmt.Fprintf(&b, "  ctx=%d idle\n", t.id)
+			continue
+		}
+		fmt.Fprintf(&b, "  ctx=%d state=%v prim=%v parent=%d/%d al=[%d,%d,%d) fq=%d sq=%d reusePins=%d stream=%v pc=0x%x\n",
+			t.id, t.state, t.isPrimary, t.parentCtx, t.parentSeq,
+			t.al.FirstSeq(), t.al.CommitSeq(), t.al.TailSeq(),
+			len(t.fq), len(t.sq), t.outstandingReuse, t.stream != nil, t.fetchPC)
+	}
+	for _, p := range c.parts {
+		fmt.Fprintf(&b, "  part=%d primary=%d done=%v mask=%04x\n", p.id, p.primary, p.done, p.mask)
+	}
+	return b.String()
+}

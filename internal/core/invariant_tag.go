@@ -1,0 +1,11 @@
+//go:build siminvariant
+
+package core
+
+// Building with -tags siminvariant turns the runtime invariant checker
+// on by default (every 256 cycles) for every Core, without touching
+// configuration code.  Features.InvariantEvery still takes precedence
+// when set.
+func init() {
+	defaultInvariantEvery = 256
+}

@@ -44,9 +44,18 @@ func (c *Core) tryFork(t *Context, e *alist.Entry) {
 func (c *Core) findInactiveAt(t *Context, pc uint64) *Context {
 	for _, id := range t.part.ctxIDs {
 		a := c.ctxs[id]
-		if a.state == CtxInactive && a.mp.FirstValid && a.mp.FirstPC == pc {
-			return a
+		if a.state != CtxInactive || !a.mp.FirstValid || a.mp.FirstPC != pc {
+			continue
 		}
+		// §3.5's reclaim constraint applies to re-spawning too: the
+		// respawn squashes and rebuilds the trace, which would strand
+		// the primary's uncommitted reuses of its registers (their
+		// commit-time unpinning would hit the replacement path's pin
+		// count).  Fall back to a normal spawn on another context.
+		if a.outstandingReuse > 0 {
+			continue
+		}
+		return a
 	}
 	return nil
 }
@@ -198,6 +207,12 @@ func (c *Core) resolveBranch(t *Context, e *alist.Entry) {
 					c.Stats.CoveredMiss++
 				}
 			}
+		}
+	} else if in.IsReturn() && t.isPrimary {
+		if correct {
+			c.Stats.ReturnPredOK++
+		} else {
+			c.Stats.ReturnPredBad++
 		}
 	}
 

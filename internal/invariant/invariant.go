@@ -1,0 +1,68 @@
+// Package invariant provides the reporting machinery for the
+// simulator's runtime invariant checker.  The checks themselves live
+// next to the state they audit (internal/core); this package defines
+// how a sweep's findings are collected, formatted, and escalated.
+//
+// A sweep builds a Report, records violations with Failf, and finishes
+// with MustOK: any violation panics with a cycle-stamped dump of the
+// machine so the failure is debuggable from the crash alone.  The
+// checker is off by default; config.Features.InvariantEvery (or the
+// siminvariant build tag) enables it.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one failed invariant.
+type Violation struct {
+	Rule string // short invariant name, e.g. "refcount"
+	Msg  string
+}
+
+// String renders the violation as "rule: message".
+func (v Violation) String() string { return v.Rule + ": " + v.Msg }
+
+// Report collects the violations of one checker sweep.
+type Report struct {
+	Cycle      uint64
+	Violations []Violation
+}
+
+// NewReport starts a sweep at the given cycle.
+func NewReport(cycle uint64) *Report {
+	return &Report{Cycle: cycle}
+}
+
+// Failf records a violation.
+func (r *Report) Failf(rule, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// OK reports whether the sweep found no violations.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Error formats all violations as a cycle-stamped multi-line message.
+func (r *Report) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant check failed at cycle %d (%d violation(s)):\n", r.Cycle, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+// MustOK panics with the violations and the supplied machine dump when
+// the sweep found anything.  dump is called lazily so a clean sweep
+// costs nothing.
+func (r *Report) MustOK(dump func() string) {
+	if r.OK() {
+		return
+	}
+	msg := r.Error()
+	if dump != nil {
+		msg += dump()
+	}
+	panic(msg)
+}

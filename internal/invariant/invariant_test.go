@@ -1,0 +1,52 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportLifecycle(t *testing.T) {
+	r := NewReport(1234)
+	if !r.OK() {
+		t.Fatal("fresh report must be OK")
+	}
+	r.MustOK(func() string { t.Fatal("dump must not run when OK"); return "" })
+
+	r.Failf("refcount", "reg p%d leaked %d reference(s)", 7, 2)
+	r.Failf("iq", "entry seq=%d dropped", 99)
+	if r.OK() {
+		t.Fatal("report with violations must not be OK")
+	}
+	msg := r.Error()
+	for _, want := range []string{
+		"invariant check failed at cycle 1234",
+		"2 violation(s)",
+		"refcount: reg p7 leaked 2 reference(s)",
+		"iq: entry seq=99 dropped",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestMustOKPanics(t *testing.T) {
+	r := NewReport(42)
+	r.Failf("alist", "bad pointer")
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("MustOK did not panic on a failed report")
+		}
+		s, ok := p.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", p)
+		}
+		for _, want := range []string{"cycle 42", "alist: bad pointer", "machine dump here"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("panic message missing %q:\n%s", want, s)
+			}
+		}
+	}()
+	r.MustOK(func() string { return "machine dump here" })
+}

@@ -69,6 +69,14 @@ func (q *Queue) RemoveIf(match func(e *alist.Entry) bool) int {
 	return removed
 }
 
+// Each visits every queued entry oldest-first without removing any;
+// the runtime invariant checker uses it to audit queue membership.
+func (q *Queue) Each(visit func(e *alist.Entry)) {
+	for _, e := range q.ents {
+		visit(e)
+	}
+}
+
 // CountCtx returns the number of queued entries belonging to ctx; the
 // ICOUNT fetch policy and the recycle priority counter use this.
 func (q *Queue) CountCtx(ctx int) int {

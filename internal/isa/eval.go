@@ -82,6 +82,7 @@ func Eval(inst Inst, pc uint64, s1, s2 uint64) uint64 {
 	case OpFmul:
 		return f64(f(s1) * f(s2))
 	case OpFdiv:
+		//simlint:ignore floatcmp -- exact zero test is the ISA's defined divide-by-zero semantics
 		if f(s2) == 0 {
 			return 0
 		}
@@ -104,6 +105,7 @@ func Eval(inst Inst, pc uint64, s1, s2 uint64) uint64 {
 		}
 		return 0
 	case OpFeq:
+		//simlint:ignore floatcmp -- OpFeq is defined as exact IEEE equality; emulator and core share it
 		if f(s1) == f(s2) {
 			return 1
 		}

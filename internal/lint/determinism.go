@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism flags constructs that can make a simulation run
+// non-reproducible inside the scoped (simulator) packages:
+//
+//   - `for range` over a map: Go randomizes map iteration order, so any
+//     such loop whose effect depends on visit order silently breaks the
+//     "same config, byte-identical results" property.  A loop is
+//     accepted without annotation only when it is provably
+//     order-independent: every statement in its body stores through a
+//     map index keyed by the unmodified range key, so each iteration
+//     touches a distinct slot.
+//   - wall-clock reads (time.Now and friends),
+//   - the global math/rand source (unseeded, process-random),
+//   - goroutines, channel receives, and the sync package: the model is
+//     single-threaded by design; concurrency would introduce
+//     scheduling-dependent results.
+type Determinism struct {
+	Scope func(pkgPath string) bool
+}
+
+// NewDeterminism builds the analyzer with the given package scope.
+func NewDeterminism(scope func(string) bool) *Determinism { return &Determinism{Scope: scope} }
+
+// Name implements Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (*Determinism) Doc() string {
+	return "flags map-order-dependent loops, wall-clock reads, global RNG, and concurrency in simulator packages"
+}
+
+// timeFuncs are the time-package functions that read the wall clock or
+// schedule against it.
+var timeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true, "After": true, "AfterFunc": true,
+}
+
+// randConstructors are the math/rand functions that do NOT touch the
+// package-global source; deterministic seeded generators built from
+// them are fine.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// Check implements Analyzer.
+func (d *Determinism) Check(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	diag := func(pos token.Pos, format string, args ...interface{}) {
+		out = append(out, Diagnostic{Pos: prog.Position(pos), Rule: d.Name(), Msg: sprintf(format, args...)})
+	}
+	for _, pkg := range prog.Pkgs {
+		if d.Scope != nil && !d.Scope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				switch impPath(imp) {
+				case "sync", "sync/atomic":
+					diag(imp.Pos(), "import of %s: the simulator is single-threaded and must stay deterministic", impPath(imp))
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					d.checkRange(pkg, n, diag)
+				case *ast.GoStmt:
+					diag(n.Pos(), "go statement: scheduling order is nondeterministic")
+				case *ast.SelectStmt:
+					diag(n.Pos(), "select statement: case choice is nondeterministic")
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						diag(n.Pos(), "channel receive: delivery order is nondeterministic")
+					}
+				case *ast.SelectorExpr:
+					d.checkSelector(pkg, n, diag)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkSelector flags uses of time.Now-style clock reads and of the
+// math/rand package-global source.
+func (d *Determinism) checkSelector(pkg *Package, sel *ast.SelectorExpr, diag func(token.Pos, string, ...interface{})) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if timeFuncs[sel.Sel.Name] {
+			diag(sel.Pos(), "time.%s reads the wall clock; simulated time is the cycle counter", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if obj := pkg.Info.Uses[sel.Sel]; obj != nil {
+			if _, isFunc := obj.(*types.Func); isFunc && !randConstructors[sel.Sel.Name] {
+				diag(sel.Pos(), "rand.%s uses the global random source; use a seeded rand.New(rand.NewSource(...))", sel.Sel.Name)
+			}
+		}
+	}
+}
+
+// checkRange flags `for range` over map-typed expressions unless the
+// body is provably order-independent.
+func (d *Determinism) checkRange(pkg *Package, rng *ast.RangeStmt, diag func(token.Pos, string, ...interface{})) {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if d.orderIndependent(pkg, rng) {
+		return
+	}
+	diag(rng.Pos(), "range over map %s: iteration order is randomized; sort the keys, or annotate if provably order-independent", types.TypeString(tv.Type, nil))
+}
+
+// orderIndependent recognizes the one shape the analyzer can prove safe
+// without annotation: a pure map-to-map copy, where every statement of
+// the body is `dst[k] = v`-style — a single assignment storing through
+// a map index whose key expression is exactly the range-key variable.
+// Distinct source keys then write distinct destination slots, so the
+// result cannot depend on visit order.
+func (d *Determinism) orderIndependent(pkg *Package, rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	keyObj := pkg.Info.Defs[key]
+	if keyObj == nil || len(rng.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rng.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		idx, ok := as.Lhs[0].(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		if tv, ok := pkg.Info.Types[idx.X]; !ok {
+			return false
+		} else if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return false
+		}
+		keyIdent, ok := idx.Index.(*ast.Ident)
+		if !ok || pkg.Info.Uses[keyIdent] != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+func impPath(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	return p[1 : len(p)-1]
+}

@@ -1,0 +1,220 @@
+// Package lint is a stdlib-only static-analysis engine (go/parser +
+// go/types + go/ast, no module dependencies) with simulator-specific
+// analyzers.  The simulator's verification story rests on properties no
+// generic linter enforces: the model must be fully deterministic (same
+// inputs, byte-identical statistics and commit streams) and every
+// statistics counter and configuration knob must be live.  The
+// analyzers here make violations of those properties un-mergeable; see
+// cmd/recyclelint for the CLI driver and the "Verification & static
+// analysis" sections of README.md and DESIGN.md for the rule catalog.
+//
+// Findings can be suppressed per line with a comment of the form
+//
+//	//simlint:ignore <rule> [<rule>...] [-- reason]
+//
+// placed on the offending line or the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, anchored to a source position.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the conventional file:line: form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Analyzer is one lint rule.  Check inspects the whole loaded module at
+// once so rules can reason across packages (e.g. "this stats field is
+// never written outside its package").
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Check(prog *Program) []Diagnostic
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// Program is the whole loaded module, packages sorted by import path so
+// every run visits them in the same order.
+type Program struct {
+	Fset    *token.FileSet
+	ModPath string
+	Pkgs    []*Package
+
+	// suppress maps filename -> line -> rule names ignored on that
+	// line (populated from //simlint:ignore comments).
+	suppress map[string]map[int]map[string]bool
+}
+
+// Lookup returns the loaded package with the given import path.
+func (p *Program) Lookup(path string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Position resolves a token.Pos against the program's file set.
+func (p *Program) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// ignoreDirective parses a "simlint:ignore a b -- reason" comment text
+// (comment markers already stripped) into rule names.
+func ignoreDirective(text string) []string {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "simlint:ignore") {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "simlint:ignore"))
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.Fields(rest)
+}
+
+// buildSuppressions scans every comment of every file for
+// simlint:ignore directives.  A directive covers its own line and the
+// line below it, so both trailing and leading comment styles work.
+func (p *Program) buildSuppressions() {
+	p.suppress = make(map[string]map[int]map[string]bool)
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+					rules := ignoreDirective(text)
+					if len(rules) == 0 {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					byLine := p.suppress[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						p.suppress[pos.Filename] = byLine
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := byLine[line]
+						if set == nil {
+							set = make(map[string]bool)
+							byLine[line] = set
+						}
+						for _, r := range rules {
+							set[r] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Suppressed reports whether the diagnostic is covered by an ignore
+// directive.
+func (p *Program) Suppressed(d Diagnostic) bool {
+	if p.suppress == nil {
+		p.buildSuppressions()
+	}
+	byLine := p.suppress[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[d.Pos.Line][d.Rule]
+}
+
+// Run executes the analyzers over the program, filters suppressed
+// findings, and returns the rest sorted by position then rule.
+func Run(prog *Program, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Check(prog) {
+			if !prog.Suppressed(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// SimPackages lists the module-relative package paths whose code runs
+// during (or feeds) a simulation and therefore must be deterministic.
+// The host-side tooling (cmd/*, examples/*) is exempt.
+var SimPackages = []string{
+	"internal/alist",
+	"internal/asm",
+	"internal/bpred",
+	"internal/cache",
+	"internal/confidence",
+	"internal/core",
+	"internal/emu",
+	"internal/fu",
+	"internal/iq",
+	"internal/isa",
+	"internal/program",
+	"internal/recycle",
+	"internal/regfile",
+	"internal/stats",
+	"internal/workload",
+}
+
+// DefaultScope reports whether a package import path is one of the
+// module's simulator packages.
+func DefaultScope(modPath string) func(pkgPath string) bool {
+	return func(pkgPath string) bool {
+		for _, s := range SimPackages {
+			if pkgPath == modPath+"/"+s {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// AllScope includes every loaded package; the analyzer tests use it on
+// fixture modules.
+func AllScope(string) bool { return true }
+
+// Default returns the full analyzer suite with the canonical scopes for
+// the given module path.
+func Default(modPath string) []Analyzer {
+	scope := DefaultScope(modPath)
+	return []Analyzer{
+		NewDeterminism(scope),
+		NewFloatCmp(scope),
+		NewDeadStat(modPath+"/internal/stats", "Sim", modPath),
+		NewDeadKnob(modPath+"/internal/config", []string{"Machine", "Features"},
+			[]string{modPath + "/internal/core", modPath + "/internal/config"}),
+	}
+}

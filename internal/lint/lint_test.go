@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureProg memoizes the type-checked fixture module; loading it
+// compiles part of the standard library from source, which is too slow
+// to repeat per test.
+var fixtureProg *Program
+
+func loadFixture(t *testing.T) *Program {
+	t.Helper()
+	if fixtureProg == nil {
+		prog, err := Load(filepath.Join("testdata", "fixture"))
+		if err != nil {
+			t.Fatalf("loading fixture module: %v", err)
+		}
+		fixtureProg = prog
+	}
+	return fixtureProg
+}
+
+// markers scans the fixture sources for "// <tag>:<rule>" trailing
+// comments and returns the expected "file:line:rule" keys, where file
+// is the base filename (fixture file names are unique).
+func markers(t *testing.T, tag string) []string {
+	t.Helper()
+	var out []string
+	root := filepath.Join("testdata", "fixture")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			rest := line
+			for {
+				idx := strings.Index(rest, "// "+tag+":")
+				if idx < 0 {
+					break
+				}
+				rest = rest[idx+len("// "+tag+":"):]
+				rule := rest
+				if sp := strings.IndexAny(rule, " \t"); sp >= 0 {
+					rule = rule[:sp]
+				}
+				out = append(out, key(filepath.Base(path), i+1, rule))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixture markers: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatalf("no %q markers found under %s", tag, root)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func key(file string, line int, rule string) string {
+	return file + ":" + itoa(line) + ":" + rule
+}
+
+func itoa(n int) string { return sprintf("%d", n) }
+
+func diagKeys(diags []Diagnostic) []string {
+	out := make([]string, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, key(filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestAnalyzersOnFixture is the golden test: the full default suite
+// over the fixture module must report exactly the marked findings —
+// every want: marker (positives) and nothing else (negatives,
+// including the suppressed site).
+func TestAnalyzersOnFixture(t *testing.T) {
+	prog := loadFixture(t)
+	got := diagKeys(Run(prog, Default("fixture")))
+	want := markers(t, "want")
+	if !equal(got, want) {
+		t.Errorf("diagnostic mismatch\n got: %s\nwant: %s", strings.Join(got, "\n      "), strings.Join(want, "\n      "))
+	}
+}
+
+// TestAnalyzersIndividually re-runs each analyzer alone and checks it
+// reports exactly the markers carrying its rule name, so a rule cannot
+// lean on another analyzer's findings to pass the combined test.
+func TestAnalyzersIndividually(t *testing.T) {
+	prog := loadFixture(t)
+	for _, a := range Default("fixture") {
+		t.Run(a.Name(), func(t *testing.T) {
+			var want []string
+			for _, k := range markers(t, "want") {
+				if strings.HasSuffix(k, ":"+a.Name()) {
+					want = append(want, k)
+				}
+			}
+			got := diagKeys(Run(prog, []Analyzer{a}))
+			if !equal(got, want) {
+				t.Errorf("diagnostic mismatch\n got: %s\nwant: %s", strings.Join(got, "\n      "), strings.Join(want, "\n      "))
+			}
+		})
+	}
+}
+
+// TestSuppression checks the ignore-directive machinery itself: the
+// checked: marker site must be reported by the raw analyzer and
+// filtered by Run.
+func TestSuppression(t *testing.T) {
+	prog := loadFixture(t)
+	suppressed := markers(t, "checked")
+	raw := diagKeys(NewDeterminism(DefaultScope("fixture")).Check(prog))
+	for _, want := range suppressed {
+		if !contains(raw, want) {
+			t.Errorf("raw Check missed suppressed site %s; got %v", want, raw)
+		}
+	}
+	filtered := diagKeys(Run(prog, Default("fixture")))
+	for _, want := range suppressed {
+		if contains(filtered, want) {
+			t.Errorf("Run failed to suppress %s despite simlint:ignore directive", want)
+		}
+	}
+}
+
+// TestRepoIsClean encodes the acceptance criterion that the shipped
+// tree lints clean: the default suite over this module itself must
+// report nothing.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	prog, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if diags := Run(prog, Default(prog.ModPath)); len(diags) > 0 {
+		msgs := make([]string, len(diags))
+		for i, d := range diags {
+			msgs[i] = d.String()
+		}
+		t.Errorf("repository has %d lint finding(s):\n%s", len(diags), strings.Join(msgs, "\n"))
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

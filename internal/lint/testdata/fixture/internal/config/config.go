@@ -1,0 +1,16 @@
+// Package config is the deadknob fixture: read, unread, and
+// write-only knobs on both audited structs.
+package config
+
+// Machine is one audited struct.
+type Machine struct {
+	Width     int // read by core: clean
+	Ghost     int // want:deadknob
+	WriteOnly int // want:deadknob
+}
+
+// Features is the other audited struct.
+type Features struct {
+	TME    bool // read by core: clean
+	Unused bool // want:deadknob
+}

@@ -1,0 +1,72 @@
+// Package core is the determinism fixture plus the external
+// writer/reader the deadstat and deadknob analyzers look for: it keeps
+// the clean counters and knobs live so only the deliberately broken
+// ones are flagged.
+package core
+
+import (
+	"math/rand"
+	_ "sync" // want:determinism
+	"time"
+
+	"fixture/internal/config"
+	"fixture/internal/stats"
+)
+
+// Tick is the live path: it writes every clean counter and reads every
+// clean knob.  WriteOnly is only ever assigned, which must not count as
+// a read.
+func Tick(st *stats.Sim, m *config.Machine, f *config.Features) {
+	st.Cycles++
+	st.Skipped += 1
+	st.PerRun = append(st.PerRun, st.Cycles)
+	if m.Width > 0 && f.TME {
+		st.Cycles++
+	}
+	m.WriteOnly = 1
+}
+
+// Rollback holds the shrinking and snapshot writes deadstat must flag
+// at the write site.
+func Rollback(st *stats.Sim) {
+	st.Shrunk-- // want:deadstat
+	st.Snap = 5 // want:deadstat
+}
+
+// Hazards packs the nondeterministic constructs, one per line, plus a
+// suppressed map range that only the raw analyzer may report.
+func Hazards(m map[int]int) int {
+	total := 0
+	//simlint:ignore determinism -- commutative sum: visit order immaterial
+	for _, v := range m { // checked:determinism
+		total += v
+	}
+	for k, v := range m { // want:determinism
+		if k > 0 {
+			total *= v
+		}
+	}
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }() // want:determinism
+	total += <-ch           // want:determinism
+	_ = time.Now()          // want:determinism
+	total += rand.Intn(4)   // want:determinism
+	return total
+}
+
+// Block holds the select finding.
+func Block() {
+	select {} // want:determinism
+}
+
+// Clean is the negative space: an order-independent map copy and a
+// seeded private generator, neither of which may be flagged.
+func Clean(src map[int]int) map[int]int {
+	dst := make(map[int]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	rng := rand.New(rand.NewSource(42))
+	dst[-1] = rng.Intn(4)
+	return dst
+}

@@ -1,0 +1,16 @@
+package core
+
+// ApproxGate packs the floating-point comparisons: exact equality
+// tests are findings, ordered comparisons and integer equality are not.
+func ApproxGate(a, b float64, x float32, i, j int) bool {
+	if a == b { // want:floatcmp
+		return true
+	}
+	if x != 0 { // want:floatcmp
+		return false
+	}
+	if a < b {
+		return true
+	}
+	return i == j
+}

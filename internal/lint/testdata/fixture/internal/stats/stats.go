@@ -1,0 +1,22 @@
+// Package stats is the deadstat fixture: one clean counter, one dead
+// counter, one missing from Add, one decremented, one snapshot-assigned,
+// and one non-scalar (exempt from the Add rule).
+package stats
+
+// Sim mirrors the shape the deadstat analyzer audits.
+type Sim struct {
+	Cycles  uint64   // written externally and accumulated: clean
+	Dead    uint64   // want:deadstat
+	Skipped uint64   // want:deadstat
+	Shrunk  uint64   // decrement reported at the write site, not here
+	Snap    uint64   // plain-assign reported at the write site, not here
+	PerRun  []uint64 // non-scalar: exempt from the Add rule
+}
+
+// Add accumulates other into s; Skipped is deliberately missing.
+func (s *Sim) Add(other *Sim) {
+	s.Cycles += other.Cycles
+	s.Dead += other.Dead
+	s.Shrunk += other.Shrunk
+	s.Snap += other.Snap
+}

@@ -150,6 +150,8 @@ func (s *Sim) Add(other *Sim) {
 	s.Mispredicts += other.Mispredicts
 	s.CoveredMiss += other.CoveredMiss
 	s.BTBMisses += other.BTBMisses
+	s.ReturnPredOK += other.ReturnPredOK
+	s.ReturnPredBad += other.ReturnPredBad
 	s.Forks += other.Forks
 	s.Respawns += other.Respawns
 	s.ForksUsedTME += other.ForksUsedTME
@@ -163,4 +165,6 @@ func (s *Sim) Add(other *Sim) {
 	s.RenameStallAL += other.RenameStallAL
 	s.IQFullStalls += other.IQFullStalls
 	s.Reclaims += other.Reclaims
+	s.ForkFailNoCtx += other.ForkFailNoCtx
+	s.ForkFailReuse += other.ForkFailReuse
 }

@@ -15,7 +15,6 @@ package workload
 
 import (
 	"fmt"
-	"sort"
 
 	"recyclesim/internal/program"
 )
@@ -119,11 +118,5 @@ func CoverageCheck(n int) map[string]int {
 			counts[b]++
 		}
 	}
-	// Deterministic ordering for any diagnostic printing.
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	return counts
 }

@@ -33,6 +33,7 @@ package recyclesim
 
 import (
 	"fmt"
+	"sort"
 
 	"recyclesim/internal/config"
 	"recyclesim/internal/core"
@@ -75,25 +76,57 @@ var (
 	RECRSRU = config.RECRSRU
 )
 
-// MachineByName returns one of the paper's four machine design points:
-// "big.2.16" (baseline), "big.1.8", "small.1.8", "small.2.8".
-// Unknown names panic: configurations are static program data.
-func MachineByName(name string) Machine {
+// LookupMachine resolves one of the paper's four machine design
+// points: "big.2.16" (baseline), "big.1.8", "small.1.8", "small.2.8".
+// The boolean reports whether the name is known; CLI front-ends use
+// this form to reject bad input without panicking.
+func LookupMachine(name string) (Machine, bool) {
 	m, ok := config.Machines()[name]
+	return m, ok
+}
+
+// MachineByName is LookupMachine for static call sites. Unknown names
+// panic: configurations are static program data.
+func MachineByName(name string) Machine {
+	m, ok := LookupMachine(name)
 	if !ok {
 		panic(fmt.Sprintf("recyclesim: unknown machine %q", name))
 	}
 	return m
 }
 
-// PresetByName resolves a figure-legend feature name ("SMT", "TME",
-// "REC", "REC/RU", "REC/RS", "REC/RS/RU").
+// LookupPreset resolves a figure-legend feature name ("SMT", "TME",
+// "REC", "REC/RU", "REC/RS", "REC/RS/RU").  The boolean reports
+// whether the name is known.
+func LookupPreset(name string) (Features, bool) {
+	return config.PresetByName(name)
+}
+
+// PresetByName is LookupPreset for static call sites; unknown names
+// panic.
 func PresetByName(name string) Features {
-	f, ok := config.PresetByName(name)
+	f, ok := LookupPreset(name)
 	if !ok {
 		panic(fmt.Sprintf("recyclesim: unknown feature preset %q", name))
 	}
 	return f
+}
+
+// MachineNames lists the known machine configurations in sorted order.
+func MachineNames() []string {
+	ms := config.Machines()
+	names := make([]string, 0, len(ms))
+	//simlint:ignore determinism -- keys are sorted immediately below
+	for n := range ms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PresetNames lists the feature presets in the paper's order.
+func PresetNames() []string {
+	return []string{"SMT", "TME", "REC", "REC/RU", "REC/RS", "REC/RS/RU"}
 }
 
 // FeatureName renders a Features value the way the paper labels it.
