@@ -7,10 +7,12 @@
 #   make lint        the simulator-specific static analyzers (cmd/recyclelint)
 #   make test        full test suite under the race detector
 #   make invariant   cosim suite with the runtime invariant checker forced on
+#   make bench       benchmark suite; fails on >10% simInsts/s regression
+#                    vs the committed BENCH_simulator.json, then refreshes it
 
 GO ?= go
 
-.PHONY: check fmt vet build lint test invariant
+.PHONY: check fmt vet build lint test invariant bench
 
 check: fmt vet build lint test
 
@@ -34,3 +36,6 @@ test:
 
 invariant:
 	$(GO) test -tags siminvariant ./internal/core/
+
+bench:
+	$(GO) run ./cmd/benchgate

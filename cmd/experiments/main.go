@@ -11,6 +11,13 @@
 // Exit status is 0 on success and 2 on bad flags or figure/table
 // numbers the paper does not have.
 //
+// The independent simulation cells behind the figures run concurrently
+// on a worker pool (-workers, default GOMAXPROCS); each cell is the
+// same single-threaded deterministic run a serial loop would perform,
+// results are assembled in input order, and duplicate cells shared
+// between figures are computed once, so the output is byte-identical
+// to the old serial harness.
+//
 // Absolute IPC differs from the paper (synthetic workloads, not Alpha
 // SPEC95 binaries); the comparisons between configurations are the
 // reproduced result.  See EXPERIMENTS.md for the side-by-side reading.
@@ -21,10 +28,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"recyclesim/internal/config"
 	"recyclesim/internal/core"
 	"recyclesim/internal/stats"
+	"recyclesim/internal/sweep"
 	"recyclesim/internal/workload"
 )
 
@@ -39,6 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	table := fs.Int("table", 0, "table number to regenerate (1)")
 	all := fs.Bool("all", false, "regenerate everything")
 	insts := fs.Uint64("insts", 300_000, "committed-instruction budget per run")
+	workers := fs.Int("workers", 0, "simulations to run concurrently (0 = GOMAXPROCS)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,23 +76,120 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
 
-	if *all || *fig == 3 {
-		figure3(stdout, *insts)
+	sections := []struct {
+		want  bool
+		print func(w io.Writer, r *runner)
+	}{
+		{*all || *fig == 3, func(w io.Writer, r *runner) { figure3(w, r, *insts) }},
+		{*all || *fig == 4, func(w io.Writer, r *runner) { figure4(w, r, *insts) }},
+		{*all || *table == 1, func(w io.Writer, r *runner) { table1(w, r, *insts) }},
+		{*all || *fig == 5, func(w io.Writer, r *runner) { figure5(w, r, *insts) }},
+		{*all || *fig == 6, func(w io.Writer, r *runner) { figure6(w, r, *insts) }},
 	}
-	if *all || *fig == 4 {
-		figure4(stdout, *insts)
+
+	// Pass 1: dry-run the print functions against io.Discard to collect
+	// the distinct simulation cells they need.
+	r := newRunner()
+	for _, s := range sections {
+		if s.want {
+			s.print(io.Discard, r)
+		}
 	}
-	if *all || *table == 1 {
-		table1(stdout, *insts)
+	// Pass 2: compute every cell once, in parallel across the pool.
+	r.computeAll(*workers)
+	// Pass 3: re-run the print functions for real, replaying memoized
+	// results, so the output is exactly what the serial harness printed.
+	for _, s := range sections {
+		if s.want {
+			s.print(stdout, r)
+		}
 	}
-	if *all || *fig == 5 {
-		figure5(stdout, *insts)
-	}
-	if *all || *fig == 6 {
-		figure6(stdout, *insts)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 2
+		}
 	}
 	return 0
+}
+
+// simKey identifies one simulation cell.  config.Features is a flat
+// comparable struct, so the key can embed it directly.
+type simKey struct {
+	mach  string
+	feat  config.Features
+	names string
+	insts uint64
+}
+
+// simJob carries the inputs needed to execute a cell.
+type simJob struct {
+	mach  config.Machine
+	feat  config.Features
+	names []string
+	insts uint64
+}
+
+// runner memoizes simulation cells across a collect pass and a replay
+// pass.  In collect mode sim() records the cell and returns a zero
+// result (the caller is printing to io.Discard); after computeAll,
+// sim() replays the memoized result.
+type runner struct {
+	collect bool
+	seen    map[simKey]int
+	jobs    []simJob
+	results []*stats.Sim
+}
+
+func newRunner() *runner {
+	return &runner{collect: true, seen: make(map[simKey]int)}
+}
+
+func (r *runner) sim(mach config.Machine, feat config.Features, names []string, insts uint64) *stats.Sim {
+	k := simKey{mach: mach.Name, feat: feat, names: strings.Join(names, "+"), insts: insts}
+	i, ok := r.seen[k]
+	if r.collect {
+		if !ok {
+			r.seen[k] = len(r.jobs)
+			r.jobs = append(r.jobs, simJob{mach: mach, feat: feat, names: names, insts: insts})
+		}
+		return &stats.Sim{}
+	}
+	if !ok {
+		panic(fmt.Sprintf("experiments: cell %+v not collected", k))
+	}
+	return r.results[i]
+}
+
+func (r *runner) computeAll(workers int) {
+	r.results = make([]*stats.Sim, len(r.jobs))
+	sweep.Run(len(r.jobs), workers, func(i int) {
+		j := r.jobs[i]
+		r.results[i] = runSim(j.mach, j.feat, j.names, j.insts)
+	})
+	r.collect = false
 }
 
 func runSim(mach config.Machine, feat config.Features, names []string, insts uint64) *stats.Sim {
@@ -105,7 +216,7 @@ func featByName(name string) config.Features {
 
 // figure3 regenerates Figure 3: per-benchmark IPC for the six
 // architectures, one program on the baseline big.2.16 machine.
-func figure3(w io.Writer, insts uint64) {
+func figure3(w io.Writer, r *runner, insts uint64) {
 	fmt.Fprintln(w, "Figure 3: per-benchmark IPC, 1 program, big.2.16")
 	fmt.Fprintf(w, "%-10s", "program")
 	for _, p := range presets {
@@ -115,7 +226,7 @@ func figure3(w io.Writer, insts uint64) {
 	for _, bench := range workload.Names {
 		fmt.Fprintf(w, "%-10s", bench)
 		for _, p := range presets {
-			s := runSim(config.Big216(), featByName(p), []string{bench}, insts)
+			s := r.sim(config.Big216(), featByName(p), []string{bench}, insts)
 			fmt.Fprintf(w, " %9.3f", s.IPC())
 		}
 		fmt.Fprintln(w)
@@ -125,18 +236,18 @@ func figure3(w io.Writer, insts uint64) {
 
 // avgIPC averages IPC over the eight permutation mixes of n programs
 // (n=1 averages the eight benchmarks, as the paper does).
-func avgIPC(mach config.Machine, feat config.Features, n int, insts uint64) float64 {
+func avgIPC(r *runner, mach config.Machine, feat config.Features, n int, insts uint64) float64 {
 	total := 0.0
 	runs := 0
 	if n == 1 {
 		for _, bench := range workload.Names {
-			s := runSim(mach, feat, []string{bench}, insts)
+			s := r.sim(mach, feat, []string{bench}, insts)
 			total += s.IPC()
 			runs++
 		}
 	} else {
 		for _, mix := range workload.Mixes(n) {
-			s := runSim(mach, feat, mix, insts)
+			s := r.sim(mach, feat, mix, insts)
 			total += s.IPC()
 			runs++
 		}
@@ -146,7 +257,7 @@ func avgIPC(mach config.Machine, feat config.Features, n int, insts uint64) floa
 
 // figure4 regenerates Figure 4: average IPC for 1, 2 and 4 programs
 // across the six architectures.
-func figure4(w io.Writer, insts uint64) {
+func figure4(w io.Writer, r *runner, insts uint64) {
 	fmt.Fprintln(w, "Figure 4: average IPC, 1/2/4 programs, big.2.16")
 	fmt.Fprintf(w, "%-10s", "programs")
 	for _, p := range presets {
@@ -156,7 +267,7 @@ func figure4(w io.Writer, insts uint64) {
 	for _, n := range []int{1, 2, 4} {
 		fmt.Fprintf(w, "%-10d", n)
 		for _, p := range presets {
-			fmt.Fprintf(w, " %9.3f", avgIPC(config.Big216(), featByName(p), n, insts))
+			fmt.Fprintf(w, " %9.3f", avgIPC(r, config.Big216(), featByName(p), n, insts))
 		}
 		fmt.Fprintln(w)
 	}
@@ -164,23 +275,23 @@ func figure4(w io.Writer, insts uint64) {
 }
 
 // table1 regenerates Table 1: recycling statistics under REC/RS/RU.
-func table1(w io.Writer, insts uint64) {
+func table1(w io.Writer, r *runner, insts uint64) {
 	fmt.Fprintln(w, "Table 1: recycling statistics (REC/RS/RU, big.2.16)")
 	fmt.Fprintln(w, stats.Table1Header())
 	feat := featByName("REC/RS/RU")
 	for _, bench := range workload.Names {
-		s := runSim(config.Big216(), feat, []string{bench}, insts)
+		s := r.sim(config.Big216(), feat, []string{bench}, insts)
 		fmt.Fprintln(w, s.Table1Row(bench))
 	}
 	for _, n := range []int{1, 2, 4} {
 		agg := &stats.Sim{}
 		if n == 1 {
 			for _, bench := range workload.Names {
-				agg.Add(runSim(config.Big216(), feat, []string{bench}, insts))
+				agg.Add(r.sim(config.Big216(), feat, []string{bench}, insts))
 			}
 		} else {
 			for _, mix := range workload.Mixes(n) {
-				agg.Add(runSim(config.Big216(), feat, mix, insts))
+				agg.Add(r.sim(config.Big216(), feat, mix, insts))
 			}
 		}
 		fmt.Fprintln(w, agg.Table1Row(fmt.Sprintf("%d prog avg", n)))
@@ -189,7 +300,7 @@ func table1(w io.Writer, insts uint64) {
 }
 
 // figure5 regenerates Figure 5: the §5.2 alternate-path fetch policies.
-func figure5(w io.Writer, insts uint64) {
+func figure5(w io.Writer, r *runner, insts uint64) {
 	fmt.Fprintln(w, "Figure 5: recycling fetch limits (REC/RS/RU, big.2.16), average IPC")
 	fmt.Fprintf(w, "%-10s", "programs")
 	type pol struct {
@@ -212,7 +323,7 @@ func figure5(w io.Writer, insts uint64) {
 			feat := featByName("REC/RS/RU")
 			feat.AltPolicy = pl.p
 			feat.AltLimit = pl.n
-			fmt.Fprintf(w, " %10.3f", avgIPC(config.Big216(), feat, n, insts))
+			fmt.Fprintf(w, " %10.3f", avgIPC(r, config.Big216(), feat, n, insts))
 		}
 		fmt.Fprintln(w)
 	}
@@ -221,7 +332,7 @@ func figure5(w io.Writer, insts uint64) {
 
 // figure6 regenerates Figure 6: SMT vs TME vs REC/RS/RU across the
 // four machine design points.
-func figure6(w io.Writer, insts uint64) {
+func figure6(w io.Writer, r *runner, insts uint64) {
 	fmt.Fprintln(w, "Figure 6: machine sweep, average IPC")
 	machines := []config.Machine{
 		config.Small18(), config.Small28(), config.Big18(), config.Big216(),
@@ -237,7 +348,7 @@ func figure6(w io.Writer, insts uint64) {
 		fmt.Fprintf(w, "%-10d", n)
 		for _, m := range machines {
 			for _, p := range []string{"SMT", "TME", "REC/RS/RU"} {
-				fmt.Fprintf(w, " %16.3f", avgIPC(m, featByName(p), n, insts))
+				fmt.Fprintf(w, " %16.3f", avgIPC(r, m, featByName(p), n, insts))
 			}
 		}
 		fmt.Fprintln(w)

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"recyclesim"
@@ -34,6 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	policy := fs.String("altpolicy", "nostop", "alternate-path policy: stop, fetch, nostop")
 	limit := fs.Int("altlimit", 32, "alternate-path instruction limit")
 	list := fs.Bool("list", false, "list built-in workloads and exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,6 +91,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	res, err := recyclesim.Run(recyclesim.Options{
 		Machine:   mach,
 		Features:  feat,
@@ -96,6 +114,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
 
 	fmt.Fprintf(stdout, "machine    %s\n", *machine)

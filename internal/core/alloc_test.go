@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"recyclesim/internal/config"
+	"recyclesim/internal/workload"
+)
+
+// TestSteadyStateAllocBudget pins the cycle loop's steady-state
+// allocation rate at (near) zero on the baseline machine with the full
+// feature set.  The hot path reuses scratch buffers, ring queues, and
+// the completion wheel's slot storage, so after a warm-up period the
+// only allowed allocations are rare capacity growth events; a
+// regression that reintroduces per-cycle slice churn or vararg boxing
+// fails this test immediately rather than showing up later as a
+// throughput loss.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	if defaultInvariantEvery != 0 {
+		t.Skip("siminvariant build: the periodic checker allocates by design")
+	}
+	progs, err := workload.MixPrograms([]string{"compress", "gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(config.Big216(), config.RECRSRU, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: grow every scratch buffer, wheel slot, and cache
+	// structure to its steady-state footprint.
+	for i := 0; i < 10_000; i++ {
+		c.Cycle()
+	}
+	if c.Done() {
+		t.Fatal("workload halted during warm-up; budget needs a longer program")
+	}
+
+	const cyclesPerRun = 2_000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < cyclesPerRun; i++ {
+			c.Cycle()
+		}
+	})
+	if c.Done() {
+		t.Fatal("workload halted during measurement; budget needs a longer program")
+	}
+	perCycle := avg / cyclesPerRun
+	t.Logf("steady state: %.1f allocs per %d cycles (%.4f/cycle)", avg, cyclesPerRun, perCycle)
+	// Budget: one allocation per 100 cycles.  The pre-optimization loop
+	// allocated tens of objects per cycle, so the margin between "reuses
+	// its buffers" and "regressed" is three orders of magnitude.
+	if perCycle > 0.01 {
+		t.Errorf("steady-state allocation rate %.4f/cycle exceeds budget 0.01/cycle", perCycle)
+	}
+}

@@ -56,12 +56,13 @@ func (c *Core) commitOne(t *Context) bool {
 	switch {
 	case in.IsStore():
 		lp.mem.Write(e.Addr&^7, e.Result)
-		// Retire the store-queue entry.
-		for i := range t.sq {
-			if t.sq[i].seq == e.Seq {
-				t.sq = append(t.sq[:i], t.sq[i+1:]...)
-				break
-			}
+		// Retire the store-queue entry.  Stores commit in program order,
+		// so the match is the ring's front and retirement is O(1); the
+		// scan fallback covers a front dropped early by cancelIssue.
+		if t.sq.len() > 0 && t.sq.at(0).seq == e.Seq {
+			t.sq.popFront()
+		} else {
+			t.sq.compact(func(s *sqEntry) bool { return s.seq != e.Seq })
 		}
 	case in.IsBranch():
 		// The PHT/BTB are shared and untagged: cross-program aliasing
@@ -136,7 +137,7 @@ func (c *Core) haltProgram(p *Partition) {
 			// Keep the primary parked (its map holds the final
 			// architectural state) but stop all activity.
 			t.fetchHalted = true
-			t.fq = t.fq[:0]
+			t.fqClear()
 			t.stream = nil
 			continue
 		}

@@ -73,6 +73,83 @@ type sqEntry struct {
 	valOK  bool
 }
 
+// storeQueue holds a context's uncommitted stores in program (sequence)
+// order as a ring: stores enter at the back at rename, retire from the
+// front at commit, and squash from the back.  The ring never grows —
+// uncommitted stores are bounded by the active-list capacity — so
+// steady-state operation is allocation-free and commit is O(1) instead
+// of the tail memmove a slice delete costs.
+type storeQueue struct {
+	ents []sqEntry
+	head int
+	n    int
+}
+
+func newStoreQueue(capacity int) storeQueue {
+	return storeQueue{ents: make([]sqEntry, capacity)}
+}
+
+func (q *storeQueue) len() int { return q.n }
+
+// at returns the i-th store in program order (0 = oldest).
+func (q *storeQueue) at(i int) *sqEntry {
+	return &q.ents[(q.head+i)%len(q.ents)]
+}
+
+// push appends a renamed store.  Rename allocates an active-list slot
+// first, so the ring (sized to the active list) cannot be full here.
+func (q *storeQueue) push(seq uint64) {
+	if q.n == len(q.ents) {
+		panic("core: store queue overflow")
+	}
+	*q.at(q.n) = sqEntry{seq: seq}
+	q.n++
+}
+
+// popFront retires the oldest store.
+func (q *storeQueue) popFront() {
+	if q.n == 0 {
+		panic("core: popFront on empty store queue")
+	}
+	q.head = (q.head + 1) % len(q.ents)
+	q.n--
+}
+
+// find returns the store with the given sequence number, or nil.
+func (q *storeQueue) find(seq uint64) *sqEntry {
+	for i := 0; i < q.n; i++ {
+		if s := q.at(i); s.seq == seq {
+			return s
+		}
+	}
+	return nil
+}
+
+// dropFrom removes every store with seq >= from (squash support; the
+// ring is seq-ordered, so this pops from the back).
+func (q *storeQueue) dropFrom(from uint64) {
+	for q.n > 0 && q.at(q.n-1).seq >= from {
+		q.n--
+	}
+}
+
+// compact keeps only stores accepted by keep, preserving order
+// (cancelIssue drops never-issuing stores from the middle).
+func (q *storeQueue) compact(keep func(*sqEntry) bool) {
+	w := 0
+	for i := 0; i < q.n; i++ {
+		s := q.at(i)
+		if keep(s) {
+			*q.at(w) = *s
+			w++
+		}
+	}
+	q.n = w
+}
+
+// clear empties the queue (context reclaim).
+func (q *storeQueue) clear() { q.head, q.n = 0, 0 }
+
 // streamItem is one instruction of a recycle stream: a snapshot of an
 // active-list entry taken when the merge was detected.  srcSeq points
 // back at the live source entry so reuse can consult its current state.
@@ -129,12 +206,16 @@ type Context struct {
 
 	isPrimary bool
 
-	// Fetch state.
+	// Fetch state.  The fetch queue is a fixed ring: pushes at fetch,
+	// pops at rename, wholesale clears on squash — none of it
+	// allocates.
 	fetchPC         uint64
 	fetchStallUntil uint64
 	fetchHalted     bool
 	altCapped       bool // alternate hit the path-length limit
-	fq              []fqEntry
+	fq              [fetchQueueCap]fqEntry
+	fqHead          int
+	fqN             int
 
 	// Rename state.
 	hasMap bool
@@ -143,7 +224,7 @@ type Context struct {
 	mp     recycle.MergePoints
 
 	// Store queue (program order, uncommitted stores).
-	sq []sqEntry
+	sq storeQueue
 
 	// Speculative ancestry: this context's first instruction follows
 	// parent's entry parentSeq (the forking branch).  Commit is gated
@@ -157,8 +238,12 @@ type Context struct {
 	path     forkPath
 	resolved bool // forking branch has resolved
 
-	// Recycle consumption.
-	stream *recycleStream
+	// Recycle consumption.  stream points at streamStore when live;
+	// streamBuf is the context-owned scratch the stream's items live in
+	// (one stream per consumer at a time, so both are safely reusable).
+	stream      *recycleStream
+	streamStore recycleStream
+	streamBuf   []streamItem
 
 	// Reuse gating: uncommitted primary entries currently reusing this
 	// context's register mappings (§3.5 reclaim constraint).
@@ -168,7 +253,13 @@ type Context struct {
 }
 
 func newContext(id int, alSize int) *Context {
-	c := &Context{id: id, al: alist.New(alSize), parentCtx: -1}
+	c := &Context{
+		id:        id,
+		al:        alist.New(alSize),
+		parentCtx: -1,
+		sq:        newStoreQueue(alSize),
+		streamBuf: make([]streamItem, 0, alSize),
+	}
 	for i := range c.mapTab {
 		c.mapTab[i] = regfile.NoReg
 	}
@@ -187,10 +278,38 @@ func (t *Context) mapOf(r isa.Reg) regfile.PhysReg {
 // icount approximates the number of this context's instructions in the
 // front half of the pipeline; the fetch and recycle priority policies
 // order threads by it (§3.3).
-func (t *Context) icount(inIQ int) int { return len(t.fq) + inIQ }
+func (t *Context) icount(inIQ int) int { return t.fqN + inIQ }
 
 // fqRoom reports how many more fetched instructions fit.
-func (t *Context) fqRoom(cap int) int { return cap - len(t.fq) }
+func (t *Context) fqRoom() int { return fetchQueueCap - t.fqN }
+
+// fqLen returns the number of queued fetched instructions.
+func (t *Context) fqLen() int { return t.fqN }
+
+// fqAt returns the i-th queued instruction (0 = oldest).
+func (t *Context) fqAt(i int) *fqEntry { return &t.fq[(t.fqHead+i)%fetchQueueCap] }
+
+// fqPush appends a slot for one fetched instruction and returns it.
+func (t *Context) fqPush() *fqEntry {
+	if t.fqN == fetchQueueCap {
+		panic("core: fetch queue overflow")
+	}
+	e := t.fqAt(t.fqN)
+	t.fqN++
+	return e
+}
+
+// fqPop drops the oldest queued instruction (it renamed).
+func (t *Context) fqPop() {
+	if t.fqN == 0 {
+		panic("core: fqPop on empty fetch queue")
+	}
+	t.fqHead = (t.fqHead + 1) % fetchQueueCap
+	t.fqN--
+}
+
+// fqClear empties the fetch queue (squash or context reclaim).
+func (t *Context) fqClear() { t.fqHead, t.fqN = 0, 0 }
 
 // Partition is a group of contexts serving one program: one primary
 // thread plus spare contexts for alternate paths (the MSB partitioning

@@ -25,12 +25,19 @@ import (
 	"recyclesim/internal/recycle"
 	"recyclesim/internal/regfile"
 	"recyclesim/internal/stats"
+	"recyclesim/internal/wheel"
 )
 
 const (
 	fetchQueueCap   = 32
 	redirectPenalty = 2  // extra front-end repair cycles after a mispredict
 	mdbCapacity     = 64 // Memory Disambiguation Buffer entries
+
+	// wheelHorizon bounds the completion wheel's slot ring.  The worst
+	// execution latency is a divide (20) plus a full miss chain to
+	// memory (~90 with bank skew); 256 leaves headroom, and the wheel's
+	// far list keeps anything beyond it correct anyway.
+	wheelHorizon = 256
 )
 
 // CommitInfo describes one committed instruction; tests use the hook to
@@ -67,15 +74,23 @@ type Core struct {
 	parts []*Partition
 	progs []*loadedProgram
 
-	// In-flight executions awaiting completion, kept sorted by ReadyAt
-	// lazily (scanned each cycle; sizes are small).
-	exec []*alist.Entry
+	// In-flight executions awaiting completion, filed on a completion
+	// wheel keyed by the cycle their result arrives.  Deletion is lazy:
+	// squashes leave stale items behind, and complete() revalidates
+	// each drained item against the live active list before acting.
+	exec *wheel.Wheel
 
 	// Stores whose addresses have been generated but whose data has
 	// not arrived yet (second issue phase).
 	pendingSt []*alist.Entry
 
 	rrCommit int // round-robin pointer for commit bandwidth
+
+	// Per-cycle scratch buffers, reused so the steady-state cycle loop
+	// does not allocate: due collects the completions drained from the
+	// wheel; cands holds the fetch/rename thread orderings.
+	due   []*alist.Entry
+	cands []ctxCand
 
 	// invariantEvery, when non-zero, runs CheckInvariants every N
 	// cycles (resolved from Features.InvariantEvery or the
@@ -126,8 +141,12 @@ func New(mach config.Machine, feat config.Features, progs []*program.Program) (*
 		fus:     fu.New(fu.Config{IntUnits: mach.IntUnits, LSUnits: mach.LSUnits, FPUnits: mach.FPUnits}),
 		written: recycle.NewWrittenBits(mach.Contexts),
 		mdb:     recycle.NewMDB(mdbCapacity),
+		exec:    wheel.New(wheelHorizon),
 		Stats:   &stats.Sim{},
 	}
+	c.pendingSt = make([]*alist.Entry, 0, mach.Contexts*4)
+	c.due = make([]*alist.Entry, 0, 64)
+	c.cands = make([]ctxCand, 0, mach.Contexts)
 	c.invariantEvery = feat.InvariantEvery
 	if c.invariantEvery == 0 {
 		c.invariantEvery = defaultInvariantEvery
@@ -270,21 +289,13 @@ func (c *Core) undoEntry(t *Context, e *alist.Entry) {
 }
 
 // removeFromBack removes a squashed range from the instruction queues,
-// the execution list and the store queue.
+// the pending-store list and the store queue.  The completion wheel is
+// left alone: its items are revalidated against the live active list
+// when their slot drains, so squashed entries simply fall out then.
 func (c *Core) removeFromBack(ctx int, fromSeq uint64) {
 	match := func(e *alist.Entry) bool { return e.Ctx == ctx && e.Seq >= fromSeq }
 	c.iqInt.RemoveIf(match)
 	c.iqFP.RemoveIf(match)
-	out := c.exec[:0]
-	for _, e := range c.exec {
-		if !match(e) {
-			out = append(out, e)
-		}
-	}
-	for i := len(out); i < len(c.exec); i++ {
-		c.exec[i] = nil
-	}
-	c.exec = out
 	ps := c.pendingSt[:0]
 	for _, e := range c.pendingSt {
 		if !match(e) {
@@ -296,16 +307,13 @@ func (c *Core) removeFromBack(ctx int, fromSeq uint64) {
 	}
 	c.pendingSt = ps
 
-	t := c.ctxs[ctx]
-	sq := t.sq[:0]
-	for _, s := range t.sq {
-		if s.seq < fromSeq {
-			sq = append(sq, s)
-		}
-	}
-	t.sq = sq
+	c.ctxs[ctx].sq.dropFrom(fromSeq)
 }
 
+// trace emits a pipeline debug event.  Callers must guard every call
+// with `if c.debugTrace != nil`: the variadic boxing of the arguments
+// allocates at the call site even when tracing is off, and the cycle
+// loop is required to be allocation-free in steady state.
 func (c *Core) trace(format string, args ...interface{}) {
 	if c.debugTrace != nil {
 		c.debugTrace(fmt.Sprintf(format, args...))
@@ -315,7 +323,9 @@ func (c *Core) trace(format string, args ...interface{}) {
 // squashFrom removes every instruction in ctx with Seq >= seq, plus any
 // child contexts forked from the squashed range (recursively).
 func (c *Core) squashFrom(ctx int, seq uint64) {
-	c.trace("cyc=%d squash ctx=%d from=%d tail=%d", c.cycle, ctx, seq, c.ctxs[ctx].al.TailSeq())
+	if c.debugTrace != nil {
+		c.trace("cyc=%d squash ctx=%d from=%d tail=%d", c.cycle, ctx, seq, c.ctxs[ctx].al.TailSeq())
+	}
 	t := c.ctxs[ctx]
 	// Children forked off squashed branches die entirely.
 	for _, cc := range c.ctxs {
@@ -328,7 +338,7 @@ func (c *Core) squashFrom(ctx int, seq uint64) {
 	c.removeFromBack(ctx, seq)
 	// Any in-progress recycle stream and queued fetches are stale.
 	t.stream = nil
-	t.fq = t.fq[:0]
+	t.fqClear()
 	t.fetchHalted = false
 }
 
@@ -373,9 +383,11 @@ func (c *Core) killContext(t *Context) {
 	if t.state == CtxIdle {
 		return
 	}
-	c.trace("cyc=%d kill ctx=%d state=%v prim=%v parent=%d/%d", c.cycle, t.id, t.state, t.isPrimary, t.parentCtx, t.parentSeq)
-	if t.isPrimary && !t.part.done {
-		c.trace("cyc=%d KILLING LIVE PRIMARY ctx=%d", c.cycle, t.id)
+	if c.debugTrace != nil {
+		c.trace("cyc=%d kill ctx=%d state=%v prim=%v parent=%d/%d", c.cycle, t.id, t.state, t.isPrimary, t.parentCtx, t.parentSeq)
+		if t.isPrimary && !t.part.done {
+			c.trace("cyc=%d KILLING LIVE PRIMARY ctx=%d", c.cycle, t.id)
+		}
 	}
 	// Recursively kill this context's own children first.
 	for _, cc := range c.ctxs {
@@ -389,8 +401,8 @@ func (c *Core) killContext(t *Context) {
 	c.finishPath(t)
 	t.al.Reset()
 	t.mp.Invalidate()
-	t.fq = t.fq[:0]
-	t.sq = t.sq[:0]
+	t.fqClear()
+	t.sq.clear()
 	t.stream = nil
 	t.state = CtxIdle
 	t.isPrimary = false

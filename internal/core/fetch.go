@@ -1,11 +1,28 @@
 package core
 
 import (
-	"sort"
-
 	"recyclesim/internal/config"
 	"recyclesim/internal/isa"
 )
+
+// ctxCand pairs a context with its precomputed priority key for the
+// per-cycle fetch and rename thread orderings.
+type ctxCand struct {
+	t   *Context
+	key int
+}
+
+// sortCandsStable insertion-sorts cands[lo:hi] by ascending key,
+// preserving the relative order of equal keys.  Candidate counts are
+// bounded by the context count, and unlike sort.SliceStable this
+// allocates nothing.
+func sortCandsStable(cands []ctxCand, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && cands[j].key < cands[j-1].key; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
 
 // fetch implements the ICOUNT.X.Y fetch stage with TME's primary-first
 // priority and the recycling merge-point checks of §3.4: "Each cycle,
@@ -20,7 +37,8 @@ func (c *Core) fetch() {
 	width := c.mach.FetchWidth
 	lineBytes := uint64(64)
 
-	for _, t := range cands {
+	for _, cand := range cands {
+		t := cand.t
 		if threads >= c.mach.FetchThreads || width <= 0 {
 			break
 		}
@@ -44,7 +62,7 @@ func (c *Core) fetch() {
 		line := pc / lineBytes
 		n := 0
 		merged := false
-		for n < c.mach.FetchBlock && width > 0 && t.fqRoom(fetchQueueCap) > 0 {
+		for n < c.mach.FetchBlock && width > 0 && t.fqRoom() > 0 {
 			if pc/lineBytes != line {
 				break // cache-line boundary ends the block
 			}
@@ -112,13 +130,14 @@ func (c *Core) fetch() {
 // pushFetch appends one decoded instruction to the context's fetch
 // queue.
 func (t *Context) pushFetch(pc uint64, in isa.Inst, readyAt uint64) *fqEntry {
-	t.fq = append(t.fq, fqEntry{
+	fe := t.fqPush()
+	*fe = fqEntry{
 		pc:        pc,
 		inst:      in,
 		readyAt:   readyAt,
 		postMerge: t.stream != nil,
-	})
-	return &t.fq[len(t.fq)-1]
+	}
+	return fe
 }
 
 // altLimited reports whether an alternate path must stop fetching
@@ -146,25 +165,32 @@ func (c *Core) altPathCap(t *Context) {
 
 // fetchCandidates orders fetchable contexts: primary threads first by
 // ICOUNT, then alternates by ICOUNT — the TME-modified ICOUNT policy
-// of [18] referenced in §3.3.
-func (c *Core) fetchCandidates() []*Context {
-	var prim, alt []*Context
+// of [18] referenced in §3.3.  The result lives in the core's reusable
+// candidate scratch (valid until the next ordering is built).
+func (c *Core) fetchCandidates() []ctxCand {
+	cands := c.cands[:0]
+	// Primaries first, then alternates, each segment in context order;
+	// the stable per-segment sort below preserves those ties.
+	nPrim := 0
 	for _, t := range c.ctxs {
-		if !c.canFetch(t) {
-			continue
-		}
-		if t.isPrimary {
-			prim = append(prim, t)
-		} else {
-			alt = append(alt, t)
+		if t.isPrimary && c.canFetch(t) {
+			cands = append(cands, ctxCand{t: t})
+			nPrim++
 		}
 	}
-	ic := func(t *Context) int {
-		return t.icount(c.iqInt.CountCtx(t.id) + c.iqFP.CountCtx(t.id))
+	for _, t := range c.ctxs {
+		if !t.isPrimary && c.canFetch(t) {
+			cands = append(cands, ctxCand{t: t})
+		}
 	}
-	sort.SliceStable(prim, func(i, j int) bool { return ic(prim[i]) < ic(prim[j]) })
-	sort.SliceStable(alt, func(i, j int) bool { return ic(alt[i]) < ic(alt[j]) })
-	return append(prim, alt...)
+	for i := range cands {
+		t := cands[i].t
+		cands[i].key = t.icount(c.iqInt.CountCtx(t.id) + c.iqFP.CountCtx(t.id))
+	}
+	sortCandsStable(cands, 0, nPrim)
+	sortCandsStable(cands, nPrim, len(cands))
+	c.cands = cands
+	return cands
 }
 
 func (c *Core) canFetch(t *Context) bool {
@@ -185,7 +211,7 @@ func (c *Core) canFetch(t *Context) bool {
 	if t.fetchStallUntil > c.cycle {
 		return false
 	}
-	return t.fqRoom(fetchQueueCap) > 0
+	return t.fqRoom() > 0
 }
 
 // tryMerge checks pc against the merge points visible to thread t and,
@@ -240,7 +266,7 @@ func (c *Core) tryMerge(t *Context, pc uint64) bool {
 // trace followed, the stream is truncated after the disagreeing branch
 // and fetch resumes on the newly predicted path (§3.4's chosen method).
 func (c *Core) startStream(t, src *Context, seq uint64, back bool) bool {
-	items := c.snapshotTrace(src, seq)
+	items := c.snapshotTrace(t, src, seq)
 	if len(items) == 0 {
 		return false
 	}
@@ -256,10 +282,12 @@ func (c *Core) startStream(t, src *Context, seq uint64, back bool) bool {
 		srcCtx = -1 // reuse is alternate→primary only (§3.5)
 	}
 	stream := c.buildStream(t, items, srcCtx, back)
-	stream.preDrain = len(t.fq)
+	stream.preDrain = t.fqLen()
 	t.stream = stream
-	c.trace("cyc=%d merge ctx=%d src=%d back=%v pc=0x%x items=%d next=0x%x preDrain=%d",
-		c.cycle, t.id, src.id, back, items[0].pc, len(t.stream.items), t.stream.nextPC, t.stream.preDrain)
+	if c.debugTrace != nil {
+		c.trace("cyc=%d merge ctx=%d src=%d back=%v pc=0x%x items=%d next=0x%x preDrain=%d",
+			c.cycle, t.id, src.id, back, items[0].pc, len(t.stream.items), t.stream.nextPC, t.stream.preDrain)
+	}
 	// "Fetching immediately continues from where recycling will
 	// complete."
 	t.fetchPC = t.stream.nextPC
@@ -282,7 +310,8 @@ func (c *Core) startStream(t, src *Context, seq uint64, back bool) bool {
 // history and return stack advance as if the trace had been fetched,
 // and the stream truncates after the first branch whose current
 // prediction disagrees with the trace, with fetch redirected to the
-// newly predicted path.
+// newly predicted path.  The returned stream is the consumer's reused
+// streamStore (a context consumes at most one stream at a time).
 func (c *Core) buildStream(t *Context, items []streamItem, srcCtx int, back bool) *recycleStream {
 	nextPC := traceNext(items[len(items)-1])
 	for i := range items {
@@ -322,18 +351,20 @@ func (c *Core) buildStream(t *Context, items []streamItem, srcCtx int, back bool
 			break
 		}
 	}
-	return &recycleStream{
+	t.streamStore = recycleStream{
 		items:  items,
 		srcCtx: srcCtx,
 		back:   back,
 		nextPC: nextPC,
 	}
+	return &t.streamStore
 }
 
 // snapshotTrace copies src's retained active-list entries from seq to
-// the tail into stream items.
-func (c *Core) snapshotTrace(src *Context, seq uint64) []streamItem {
-	var items []streamItem
+// the tail into stream items, held in the consumer dst's reusable
+// stream scratch (dst owns the resulting stream).
+func (c *Core) snapshotTrace(dst, src *Context, seq uint64) []streamItem {
+	items := dst.streamBuf[:0]
 	for s := seq; s < src.al.TailSeq(); s++ {
 		e, ok := src.al.At(s)
 		if !ok {
@@ -355,6 +386,7 @@ func (c *Core) snapshotTrace(src *Context, seq uint64) []streamItem {
 		}
 		items = append(items, it)
 	}
+	dst.streamBuf = items[:0] // retain the buffer if append ever grew it
 	return items
 }
 

@@ -9,6 +9,7 @@ import (
 	"recyclesim/internal/iq"
 	"recyclesim/internal/isa"
 	"recyclesim/internal/regfile"
+	"recyclesim/internal/wheel"
 )
 
 // defaultInvariantEvery is the checker period used when
@@ -36,8 +37,10 @@ var defaultInvariantEvery uint64 = 0
 //   - instruction queue membership, both directions: everything queued
 //     is a live un-issued entry, and every dispatched un-issued entry
 //     is queued exactly once;
-//   - exec/pending-store liveness: in-flight executions reference live
-//     entries only;
+//   - completion coverage: every live issued-but-incomplete entry is
+//     reachable through the completion wheel or the pending-store list
+//     (the wheel's lazy deletion permits stale items, but never a lost
+//     completion), and every wheel item is scheduled in the future;
 //   - store-queue consistency with the active list;
 //   - outstanding-reuse conservation: each context's pin count equals
 //     the number of uncommitted reused entries naming it as source;
@@ -130,7 +133,7 @@ func (c *Core) checkContexts(r *invariant.Report) {
 				r.Failf("idle", "ctx=%d idle but still holds a register map", t.id)
 			case t.outstandingReuse != 0:
 				r.Failf("idle", "ctx=%d idle with outstandingReuse=%d", t.id, t.outstandingReuse)
-			case len(t.fq) != 0 || len(t.sq) != 0 || t.stream != nil:
+			case t.fqLen() != 0 || t.sq.len() != 0 || t.stream != nil:
 				r.Failf("idle", "ctx=%d idle with fetch/store/stream state", t.id)
 			case t.isPrimary:
 				r.Failf("idle", "ctx=%d idle but marked primary", t.id)
@@ -142,11 +145,11 @@ func (c *Core) checkContexts(r *invariant.Report) {
 		// store.  Conversely every dispatched, issuable, uncommitted
 		// store must have a slot (cancelIssue drops slots only for
 		// NoIssue stores without a generated address).
-		for i := range t.sq {
-			s := &t.sq[i]
-			if i > 0 && t.sq[i-1].seq >= s.seq {
+		for i := 0; i < t.sq.len(); i++ {
+			s := t.sq.at(i)
+			if i > 0 && t.sq.at(i-1).seq >= s.seq {
 				r.Failf("storeq", "ctx=%d store queue out of order at slot %d (seq %d after %d)",
-					t.id, i, s.seq, t.sq[i-1].seq)
+					t.id, i, s.seq, t.sq.at(i-1).seq)
 			}
 			e, ok := al.At(s.seq)
 			if !ok || !e.Inst.IsStore() || e.Committed {
@@ -158,14 +161,7 @@ func (c *Core) checkContexts(r *invariant.Report) {
 			if e == nil || !e.Inst.IsStore() || !e.Dispatched || e.NoIssue {
 				continue
 			}
-			found := false
-			for i := range t.sq {
-				if t.sq[i].seq == s {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if t.sq.find(s) == nil {
 				r.Failf("storeq", "ctx=%d dispatched store seq=%d missing from store queue", t.id, s)
 			}
 		}
@@ -225,29 +221,48 @@ func (c *Core) checkQueues(r *invariant.Report) {
 		}
 	}
 
-	seen := map[*alist.Entry]bool{}
-	liveInFlight := func(name string, e *alist.Entry) {
-		if seen[e] {
-			r.Failf("exec", "ctx=%d seq=%d appears twice in in-flight lists", e.Ctx, e.Seq)
+	// Completion coverage.  The wheel deletes lazily — squashed entries
+	// leave stale items behind by design, so staleness is NOT a failure
+	// here.  What must hold instead: (a) every wheel item is filed for a
+	// future cycle (a past-due item would never be drained again and its
+	// completion would be lost); (b) every live issued-but-incomplete
+	// entry is covered — reachable via a wheel item for itself or parked
+	// in pendingSt — else it never completes.
+	covered := map[*alist.Entry]bool{}
+	c.exec.Each(func(it wheel.Item) {
+		e := it.E
+		if it.Due <= c.cycle {
+			r.Failf("exec", "wheel item ctx=%d seq=%d due cycle %d not after current cycle %d",
+				e.Ctx, e.Seq, it.Due, c.cycle)
 		}
-		seen[e] = true
+		t := c.ctxs[e.Ctx]
+		if live, ok := t.al.At(e.Seq); ok && live == e {
+			covered[e] = true
+		}
+	})
+	for _, e := range c.pendingSt {
 		t := c.ctxs[e.Ctx]
 		live, ok := t.al.At(e.Seq)
 		switch {
 		case !ok || live != e:
-			r.Failf("exec", "%s holds stale entry ctx=%d seq=%d", name, e.Ctx, e.Seq)
+			r.Failf("exec", "pendingSt holds stale entry ctx=%d seq=%d", e.Ctx, e.Seq)
 		case !e.Issued || e.Executed:
-			r.Failf("exec", "%s entry ctx=%d seq=%d has inconsistent flags (issued=%v exec=%v)",
-				name, e.Ctx, e.Seq, e.Issued, e.Executed)
-		}
-	}
-	for _, e := range c.exec {
-		liveInFlight("exec", e)
-	}
-	for _, e := range c.pendingSt {
-		liveInFlight("pendingSt", e)
-		if !e.Inst.IsStore() {
+			r.Failf("exec", "pendingSt entry ctx=%d seq=%d has inconsistent flags (issued=%v exec=%v)",
+				e.Ctx, e.Seq, e.Issued, e.Executed)
+		case !e.Inst.IsStore():
 			r.Failf("exec", "pendingSt holds non-store ctx=%d seq=%d", e.Ctx, e.Seq)
+		}
+		covered[e] = true
+	}
+	for _, t := range c.ctxs {
+		for s := t.al.CommitSeq(); s < t.al.TailSeq(); s++ {
+			e, _ := t.al.At(s)
+			if e == nil || !e.Issued || e.Executed {
+				continue
+			}
+			if !covered[e] {
+				r.Failf("exec", "ctx=%d seq=%d issued but covered by neither the completion wheel nor pendingSt", t.id, s)
+			}
 		}
 	}
 }
@@ -330,9 +345,9 @@ func (c *Core) dumpState() string {
 	fmt.Fprintf(&b, "machine state at cycle %d:\n", c.cycle)
 	fmt.Fprintf(&b, "  regfile: int free %d/%d, fp free %d/%d\n",
 		c.rf.FreeCount(false), c.rf.NumInt, c.rf.FreeCount(true), c.rf.NumFP)
-	fmt.Fprintf(&b, "  iq: int %d/%d, fp %d/%d; exec=%d pendingSt=%d\n",
+	fmt.Fprintf(&b, "  iq: int %d/%d, fp %d/%d; wheel=%d pendingSt=%d\n",
 		c.iqInt.Len(), c.iqInt.Capacity(), c.iqFP.Len(), c.iqFP.Capacity(),
-		len(c.exec), len(c.pendingSt))
+		c.exec.Len(), len(c.pendingSt))
 	for _, t := range c.ctxs {
 		if t.state == CtxIdle {
 			fmt.Fprintf(&b, "  ctx=%d idle\n", t.id)
@@ -341,7 +356,7 @@ func (c *Core) dumpState() string {
 		fmt.Fprintf(&b, "  ctx=%d state=%v prim=%v parent=%d/%d al=[%d,%d,%d) fq=%d sq=%d reusePins=%d stream=%v pc=0x%x\n",
 			t.id, t.state, t.isPrimary, t.parentCtx, t.parentSeq,
 			t.al.FirstSeq(), t.al.CommitSeq(), t.al.TailSeq(),
-			len(t.fq), len(t.sq), t.outstandingReuse, t.stream != nil, t.fetchPC)
+			t.fqLen(), t.sq.len(), t.outstandingReuse, t.stream != nil, t.fetchPC)
 	}
 	for _, p := range c.parts {
 		fmt.Fprintf(&b, "  part=%d primary=%d done=%v mask=%04x\n", p.id, p.primary, p.done, p.mask)

@@ -1,12 +1,11 @@
 package core
 
 import (
-	"sort"
-
 	"recyclesim/internal/alist"
 	"recyclesim/internal/iq"
 	"recyclesim/internal/isa"
 	"recyclesim/internal/regfile"
+	"recyclesim/internal/wheel"
 )
 
 // issue selects ready instructions from the queues oldest-first and
@@ -64,9 +63,9 @@ func (c *Core) loadMayIssue(t *Context, e *alist.Entry) bool {
 	// The address is computable now (Src1 is ready); use it to decide
 	// whether a matching older store's data gates this load.
 	addr := isa.EffAddr(e.Inst, c.srcValue(e.Src1)) &^ 7
-	check := func(sq []sqEntry, beforeSeq uint64) bool {
-		for i := range sq {
-			s := &sq[i]
+	check := func(sq *storeQueue, beforeSeq uint64) bool {
+		for i := 0; i < sq.len(); i++ {
+			s := sq.at(i)
 			if s.seq >= beforeSeq {
 				continue
 			}
@@ -79,13 +78,13 @@ func (c *Core) loadMayIssue(t *Context, e *alist.Entry) bool {
 		}
 		return true
 	}
-	if !check(t.sq, e.Seq) {
+	if !check(&t.sq, e.Seq) {
 		return false
 	}
 	ctx, limit := t.parentCtx, t.parentSeq
 	for hops := 0; ctx >= 0 && hops < len(c.ctxs); hops++ {
 		p := c.ctxs[ctx]
-		if !check(p.sq, limit+1) {
+		if !check(&p.sq, limit+1) {
 			return false
 		}
 		ctx, limit = p.parentCtx, p.parentSeq
@@ -98,12 +97,12 @@ func (c *Core) loadMayIssue(t *Context, e *alist.Entry) bool {
 // then architectural memory.
 func (c *Core) loadValue(t *Context, seq uint64, addr uint64) (uint64, bool) {
 	addr &^= 7
-	best := func(sq []sqEntry, beforeSeq uint64) (uint64, bool) {
+	best := func(sq *storeQueue, beforeSeq uint64) (uint64, bool) {
 		var v uint64
 		found := false
 		var bestSeq uint64
-		for i := range sq {
-			s := &sq[i]
+		for i := 0; i < sq.len(); i++ {
+			s := sq.at(i)
 			if s.valOK && s.seq < beforeSeq && s.addr == addr &&
 				(!found || s.seq >= bestSeq) {
 				v, found, bestSeq = s.val, true, s.seq
@@ -111,13 +110,13 @@ func (c *Core) loadValue(t *Context, seq uint64, addr uint64) (uint64, bool) {
 		}
 		return v, found
 	}
-	if v, ok := best(t.sq, seq); ok {
+	if v, ok := best(&t.sq, seq); ok {
 		return v, true
 	}
 	ctx, limit := t.parentCtx, t.parentSeq
 	for hops := 0; ctx >= 0 && hops < len(c.ctxs); hops++ {
 		p := c.ctxs[ctx]
-		if v, ok := best(p.sq, limit+1); ok {
+		if v, ok := best(&p.sq, limit+1); ok {
 			return v, true
 		}
 		ctx, limit = p.parentCtx, p.parentSeq
@@ -147,19 +146,20 @@ func (c *Core) execute(t *Context, e *alist.Entry) {
 		// (as soon as the address is known) so no reuse can slip in
 		// between address generation and data arrival.
 		e.Addr = isa.EffAddr(in, s1)
-		for i := range t.sq {
-			if t.sq[i].seq == e.Seq {
-				t.sq[i].addr = e.Addr &^ 7
-				t.sq[i].addrOK = true
-				break
-			}
+		if s := t.sq.find(e.Seq); s != nil {
+			s.addr = e.Addr &^ 7
+			s.addrOK = true
 		}
 		c.mdb.StoreTo(c.tagAddr(t.part.prog.idx, e.Addr&^7))
 		// Stores probe the data cache for timing (write allocate).
 		lat += c.mem.AccessD(c.cycle, c.tagAddr(t.part.prog.idx, e.Addr))
 		if !c.srcReady(e.Src2) {
 			// Data pending: park in phase two; complete() re-arms the
-			// store when the data register arrives.
+			// store when the data register arrives.  ReadyAt is pushed to
+			// the far future so a stale wheel item left behind by this
+			// slot's previous occupant (lazy deletion) cannot pass the
+			// revalidation filter and complete the parked store early.
+			e.ReadyAt = ^uint64(0)
 			c.pendingSt = append(c.pendingSt, e)
 			return
 		}
@@ -181,28 +181,32 @@ func (c *Core) execute(t *Context, e *alist.Entry) {
 	}
 
 	e.ReadyAt = c.cycle + uint64(lat)
-	c.exec = append(c.exec, e)
+	c.exec.Schedule(e, e.ReadyAt, c.cycle)
 }
 
 // storeCaptureData records a store's data in the store queue (phase
 // two of store issue), enabling forwarding to younger loads.
 func (c *Core) storeCaptureData(t *Context, e *alist.Entry) {
-	for i := range t.sq {
-		if t.sq[i].seq == e.Seq {
-			t.sq[i].val = e.Result
-			t.sq[i].valOK = true
-			return
-		}
+	if s := t.sq.find(e.Seq); s != nil {
+		s.val = e.Result
+		s.valOK = true
 	}
 }
 
 // complete retires finished executions: results are written back,
 // loads enter the MDB, stores invalidate it, and branches resolve.
-// Completions are processed in deterministic (ctx, seq) order; a
-// resolution may squash younger completions scheduled for the same
-// cycle, so each is revalidated before processing.
+// The completion wheel yields exactly the executions due this cycle
+// (cost proportional to completions, not to the in-flight count); the
+// batch is processed in deterministic (ctx, seq) order.  A resolution
+// may squash younger completions drained for the same cycle, and the
+// wheel's lazy deletion can surface stale or duplicate items, so each
+// entry is revalidated before processing.
 func (c *Core) complete() {
+	due := c.due[:0]
+
 	// Phase-two stores: capture data once the source register arrives.
+	// Re-armed stores complete this same cycle, so they join the due
+	// batch directly instead of going through the wheel.
 	if len(c.pendingSt) > 0 {
 		rest := c.pendingSt[:0]
 		for _, e := range c.pendingSt {
@@ -212,7 +216,7 @@ func (c *Core) complete() {
 					e.Result = c.srcValue(e.Src2)
 					c.storeCaptureData(t, e)
 					e.ReadyAt = c.cycle
-					c.exec = append(c.exec, e)
+					due = append(due, e)
 				}
 			} else {
 				rest = append(rest, e)
@@ -224,31 +228,27 @@ func (c *Core) complete() {
 		c.pendingSt = rest
 	}
 
-	var due []*alist.Entry
-	rest := c.exec[:0]
-	for _, e := range c.exec {
-		if e.ReadyAt <= c.cycle {
-			due = append(due, e)
-		} else {
-			rest = append(rest, e)
+	c.exec.PopDue(c.cycle, func(it wheel.Item) {
+		e := it.E
+		// Lazy-deletion filter: skip items whose entry was squashed
+		// since scheduling (the slot no longer resolves to e, or the
+		// slot was re-renamed and the new instruction is not yet due).
+		t := c.ctxs[e.Ctx]
+		live, ok := t.al.At(e.Seq)
+		if !ok || live != e || e.Executed || !e.Issued || e.ReadyAt > c.cycle {
+			return
 		}
-	}
-	for i := len(rest); i < len(c.exec); i++ {
-		c.exec[i] = nil
-	}
-	c.exec = rest
+		due = append(due, e)
+	})
+	c.due = due[:0] // retain the grown scratch capacity
 	if len(due) == 0 {
 		return
 	}
-	sort.Slice(due, func(i, j int) bool {
-		if due[i].Ctx != due[j].Ctx {
-			return due[i].Ctx < due[j].Ctx
-		}
-		return due[i].Seq < due[j].Seq
-	})
+	sortDueByCtxSeq(due)
 	for _, e := range due {
 		// Revalidate: a squash earlier in this cycle may have removed
-		// or recycled this active-list slot.
+		// or recycled this active-list slot, and a stale wheel item can
+		// duplicate an entry drained through its own item this cycle.
 		t := c.ctxs[e.Ctx]
 		live, ok := t.al.At(e.Seq)
 		if !ok || live != e || e.Executed || !e.Issued {
@@ -256,6 +256,24 @@ func (c *Core) complete() {
 		}
 		c.completeEntry(t, e)
 	}
+}
+
+// sortDueByCtxSeq insertion-sorts a completion batch by (ctx, seq).
+// Batches are bounded by per-cycle completion counts (a handful), and
+// unlike sort.Slice this allocates nothing.
+func sortDueByCtxSeq(due []*alist.Entry) {
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && dueLess(due[j], due[j-1]); j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+}
+
+func dueLess(a, b *alist.Entry) bool {
+	if a.Ctx != b.Ctx {
+		return a.Ctx < b.Ctx
+	}
+	return a.Seq < b.Seq
 }
 
 func (c *Core) completeEntry(t *Context, e *alist.Entry) {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"recyclesim/internal/alist"
 	"recyclesim/internal/config"
 	"recyclesim/internal/iq"
@@ -22,7 +20,8 @@ func (c *Core) rename() {
 	// Round 1: fetched instructions, threads ordered by front-end
 	// occupancy (lower first).
 	order := c.renameOrder(false)
-	for _, t := range order {
+	for _, cand := range order {
+		t := cand.t
 		for slots > 0 {
 			fe, ok := t.nextFetched()
 			if !ok || fe.readyAt > c.cycle {
@@ -40,7 +39,8 @@ func (c *Core) rename() {
 	// recycle, a separate instruction counter is used to determine the
 	// priority of those threads for insertion into the rename stage."
 	order = c.renameOrder(true)
-	for _, t := range order {
+	for _, cand := range order {
+		t := cand.t
 		for slots > 0 && t.stream != nil && t.stream.preDrain == 0 {
 			st := t.stream
 			if st.done() {
@@ -70,28 +70,41 @@ func (c *Core) rename() {
 // ICOUNT fetch priority — alternates must not steal rename bandwidth
 // from the paths that retire work) and by queue occupancy within each
 // class.  For the recycle round (second pass) only threads with an
-// active stream qualify.
-func (c *Core) renameOrder(recycleRound bool) []*Context {
-	var out []*Context
-	for _, t := range c.ctxs {
+// active stream qualify.  The result lives in the core's reusable
+// candidate scratch (valid until the next ordering is built).
+func (c *Core) renameOrder(recycleRound bool) []ctxCand {
+	out := c.cands[:0]
+	eligible := func(t *Context) bool {
 		if t.state == CtxIdle || t.state == CtxRetiring || t.state == CtxInactive {
-			continue
+			return false
 		}
 		if recycleRound {
-			if t.stream != nil {
-				out = append(out, t)
-			}
-		} else if len(t.fq) > 0 {
-			out = append(out, t)
+			return t.stream != nil
+		}
+		return t.fqLen() > 0
+	}
+	// Primaries first, then alternates: the original single stable sort
+	// keyed on (isPrimary, icount) is equivalent to collecting the two
+	// classes separately and stable-sorting each by icount.
+	nPrim := 0
+	for _, t := range c.ctxs {
+		if t.isPrimary && eligible(t) {
+			out = append(out, ctxCand{t: t})
+			nPrim++
 		}
 	}
-	ic := func(t *Context) int { return c.iqInt.CountCtx(t.id) + c.iqFP.CountCtx(t.id) }
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].isPrimary != out[j].isPrimary {
-			return out[i].isPrimary
+	for _, t := range c.ctxs {
+		if !t.isPrimary && eligible(t) {
+			out = append(out, ctxCand{t: t})
 		}
-		return ic(out[i]) < ic(out[j])
-	})
+	}
+	for i := range out {
+		t := out[i].t
+		out[i].key = c.iqInt.CountCtx(t.id) + c.iqFP.CountCtx(t.id)
+	}
+	sortCandsStable(out, 0, nPrim)
+	sortCandsStable(out, nPrim, len(out))
+	c.cands = out
 	return out
 }
 
@@ -99,10 +112,10 @@ func (c *Core) renameOrder(recycleRound bool) []*Context {
 // honouring stream ordering: pre-merge entries drain first; post-merge
 // entries wait until the stream completes.
 func (t *Context) nextFetched() (*fqEntry, bool) {
-	if len(t.fq) == 0 {
+	if t.fqLen() == 0 {
 		return nil, false
 	}
-	fe := &t.fq[0]
+	fe := t.fqAt(0)
 	if t.stream != nil {
 		if t.stream.preDrain == 0 {
 			return nil, false // stream's turn
@@ -115,7 +128,7 @@ func (t *Context) nextFetched() (*fqEntry, bool) {
 }
 
 func (t *Context) popFetched() {
-	t.fq = t.fq[1:]
+	t.fqPop()
 	if t.stream != nil && t.stream.preDrain > 0 {
 		t.stream.preDrain--
 	}
@@ -163,7 +176,9 @@ func (c *Core) allocEntry(t *Context, pc uint64, in isa.Inst) *alist.Entry {
 		}
 	}
 
-	c.trace("cyc=%d rename ctx=%d seq=%d pc=0x%x %v", c.cycle, t.id, e.Seq, pc, in)
+	if c.debugTrace != nil {
+		c.trace("cyc=%d rename ctx=%d seq=%d pc=0x%x %v", c.cycle, t.id, e.Seq, pc, in)
+	}
 	e.Ctx = t.id
 	e.PC = pc
 	e.Inst = in
@@ -224,7 +239,7 @@ func (c *Core) dispatch(t *Context, e *alist.Entry) {
 	}
 	e.Dispatched = true
 	if in.IsStore() {
-		t.sq = append(t.sq, sqEntry{seq: e.Seq})
+		t.sq.push(e.Seq)
 	}
 }
 
@@ -397,11 +412,11 @@ func (c *Core) endStream(t *Context, abort bool) {
 		return
 	}
 	if abort {
-		t.fq = t.fq[:0]
+		t.fqClear()
 		t.fetchHalted = false
 	} else {
-		for i := range t.fq {
-			t.fq[i].postMerge = false
+		for i := 0; i < t.fqLen(); i++ {
+			t.fqAt(i).postMerge = false
 		}
 	}
 	t.stream = nil

@@ -35,7 +35,9 @@ func (c *Core) tryFork(t *Context, e *alist.Entry) {
 		return
 	}
 	c.activateAlternate(t, e, a, altPC, nil)
-	c.trace("cyc=%d fork ctx=%d alt=%d branch pc=0x%x altPC=0x%x", c.cycle, t.id, a.id, e.PC, altPC)
+	if c.debugTrace != nil {
+		c.trace("cyc=%d fork ctx=%d alt=%d branch pc=0x%x altPC=0x%x", c.cycle, t.id, a.id, e.PC, altPC)
+	}
 	c.Stats.Forks++
 }
 
@@ -148,7 +150,7 @@ func (c *Core) activateAlternate(t *Context, e *alist.Entry, a *Context, altPC u
 // requested alternate PC: "it is re-spawned via recycling, without
 // consuming fetch bandwidth."
 func (c *Core) respawn(t *Context, e *alist.Entry, a *Context, altPC uint64) {
-	items := c.snapshotTrace(a, a.al.FirstSeq())
+	items := c.snapshotTrace(a, a, a.al.FirstSeq())
 	if len(items) == 0 {
 		// Degenerate trace; fall back to a normal spawn on it.
 		c.killContext(a)
@@ -260,7 +262,9 @@ func (c *Core) resolveBranch(t *Context, e *alist.Entry) {
 			t.isPrimary = true
 			t.part.primary = t.id
 			c.written.SetAll(t.part.mask)
-			c.trace("cyc=%d reinstate primary ctx=%d", c.cycle, t.id)
+			if c.debugTrace != nil {
+				c.trace("cyc=%d reinstate primary ctx=%d", c.cycle, t.id)
+			}
 		}
 	}
 }
@@ -305,17 +309,15 @@ func (c *Core) cancelIssue(a *Context) {
 	c.iqInt.RemoveIf(match)
 	c.iqFP.RemoveIf(match)
 	// Never-issuing stores must not block loads; drop their queue slots.
-	sq := a.sq[:0]
-	for _, s := range a.sq {
+	a.sq.compact(func(s *sqEntry) bool {
 		if s.addrOK {
-			sq = append(sq, s)
-		} else if ent, ok := a.al.At(s.seq); ok && ent.NoIssue {
-			continue
-		} else {
-			sq = append(sq, s)
+			return true
 		}
-	}
-	a.sq = sq
+		if ent, ok := a.al.At(s.seq); ok && ent.NoIssue {
+			return false
+		}
+		return true
+	})
 }
 
 // makeInactive parks a finished alternate as recyclable trace storage.
@@ -325,7 +327,7 @@ func (c *Core) makeInactive(a *Context) {
 	}
 	a.state = CtxInactive
 	a.lruTick = c.cycle
-	a.fq = a.fq[:0]
+	a.fqClear()
 	a.stream = nil
 	a.fetchHalted = false
 	// Issue cancellation is policy-specific and happens in
@@ -357,7 +359,9 @@ func (c *Core) promote(t *Context, e *alist.Entry, a *Context) {
 	a.path.usedTME = true
 	c.finishPath(a)
 	t.part.primary = a.id
-	c.trace("cyc=%d promote ctx=%d -> ctx=%d branch pc=0x%x seq=%d", c.cycle, t.id, a.id, e.PC, e.Seq)
+	if c.debugTrace != nil {
+		c.trace("cyc=%d promote ctx=%d -> ctx=%d branch pc=0x%x seq=%d", c.cycle, t.id, a.id, e.PC, e.Seq)
+	}
 
 	// The promoted thread's alternate-path writes were never recorded
 	// in the written bit-array (only primaries set bits), so every

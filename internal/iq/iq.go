@@ -14,11 +14,23 @@ import (
 type Queue struct {
 	cap  int
 	ents []*alist.Entry
+
+	// counts caches per-context occupancy so the ICOUNT fetch and
+	// rename priority policies read it in O(1) instead of scanning the
+	// queue (grown on demand to the highest context id seen).
+	counts []int
 }
 
 // New returns an empty queue with the given capacity.
 func New(capacity int) *Queue {
 	return &Queue{cap: capacity, ents: make([]*alist.Entry, 0, capacity)}
+}
+
+func (q *Queue) bump(ctx, delta int) {
+	for ctx >= len(q.counts) {
+		q.counts = append(q.counts, 0)
+	}
+	q.counts[ctx] += delta
 }
 
 // Capacity returns the maximum occupancy.
@@ -36,6 +48,7 @@ func (q *Queue) Push(e *alist.Entry) bool {
 		return false
 	}
 	q.ents = append(q.ents, e)
+	q.bump(e.Ctx, 1)
 	return true
 }
 
@@ -47,6 +60,8 @@ func (q *Queue) Scan(visit func(e *alist.Entry) (remove bool)) {
 	for _, e := range q.ents {
 		if !visit(e) {
 			out = append(out, e)
+		} else {
+			q.bump(e.Ctx, -1)
 		}
 	}
 	// Clear the tail so removed entries don't pin memory.
@@ -80,13 +95,10 @@ func (q *Queue) Each(visit func(e *alist.Entry)) {
 // CountCtx returns the number of queued entries belonging to ctx; the
 // ICOUNT fetch policy and the recycle priority counter use this.
 func (q *Queue) CountCtx(ctx int) int {
-	n := 0
-	for _, e := range q.ents {
-		if e.Ctx == ctx {
-			n++
-		}
+	if ctx < len(q.counts) {
+		return q.counts[ctx]
 	}
-	return n
+	return 0
 }
 
 // ForClass reports which queue an instruction class dispatches to:

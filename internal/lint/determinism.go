@@ -21,8 +21,14 @@ import (
 //   - goroutines, channel receives, and the sync package: the model is
 //     single-threaded by design; concurrency would introduce
 //     scheduling-dependent results.
+//
+// Packages accepted by ConcurrencyOK (the explicit parallelism
+// boundary, normally lint.ConcurrencyAllowed) are exempt from the
+// concurrency rules only; the map-order, wall-clock, and global-RNG
+// rules still apply to them.
 type Determinism struct {
-	Scope func(pkgPath string) bool
+	Scope         func(pkgPath string) bool
+	ConcurrencyOK func(pkgPath string) bool
 }
 
 // NewDeterminism builds the analyzer with the given package scope.
@@ -59,11 +65,14 @@ func (d *Determinism) Check(prog *Program) []Diagnostic {
 		if d.Scope != nil && !d.Scope(pkg.Path) {
 			continue
 		}
+		concOK := d.ConcurrencyOK != nil && d.ConcurrencyOK(pkg.Path)
 		for _, f := range pkg.Files {
-			for _, imp := range f.Imports {
-				switch impPath(imp) {
-				case "sync", "sync/atomic":
-					diag(imp.Pos(), "import of %s: the simulator is single-threaded and must stay deterministic", impPath(imp))
+			if !concOK {
+				for _, imp := range f.Imports {
+					switch impPath(imp) {
+					case "sync", "sync/atomic":
+						diag(imp.Pos(), "import of %s: the simulator is single-threaded and must stay deterministic", impPath(imp))
+					}
 				}
 			}
 			ast.Inspect(f, func(n ast.Node) bool {
@@ -71,11 +80,15 @@ func (d *Determinism) Check(prog *Program) []Diagnostic {
 				case *ast.RangeStmt:
 					d.checkRange(pkg, n, diag)
 				case *ast.GoStmt:
-					diag(n.Pos(), "go statement: scheduling order is nondeterministic")
+					if !concOK {
+						diag(n.Pos(), "go statement: scheduling order is nondeterministic")
+					}
 				case *ast.SelectStmt:
-					diag(n.Pos(), "select statement: case choice is nondeterministic")
+					if !concOK {
+						diag(n.Pos(), "select statement: case choice is nondeterministic")
+					}
 				case *ast.UnaryExpr:
-					if n.Op == token.ARROW {
+					if n.Op == token.ARROW && !concOK {
 						diag(n.Pos(), "channel receive: delivery order is nondeterministic")
 					}
 				case *ast.SelectorExpr:

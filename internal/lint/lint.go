@@ -186,7 +186,34 @@ var SimPackages = []string{
 	"internal/recycle",
 	"internal/regfile",
 	"internal/stats",
+	"internal/sweep",
+	"internal/wheel",
 	"internal/workload",
+}
+
+// ConcurrencyAllowed lists the module-relative simulator packages
+// permitted to use goroutines, channels, select, and the sync package.
+// This is the explicit parallelism boundary: internal/sweep runs whole
+// *independent* simulations concurrently and never shares state
+// between them, so concurrency there cannot perturb any single run's
+// determinism.  Every other SimPackages entry stays single-threaded,
+// and the non-concurrency determinism rules (map ranges, wall clock,
+// global RNG) still apply to allowlisted packages.
+var ConcurrencyAllowed = []string{
+	"internal/sweep",
+}
+
+// ConcurrencyScope reports whether a package import path may use
+// concurrency constructs under the determinism analyzer.
+func ConcurrencyScope(modPath string) func(pkgPath string) bool {
+	return func(pkgPath string) bool {
+		for _, s := range ConcurrencyAllowed {
+			if pkgPath == modPath+"/"+s {
+				return true
+			}
+		}
+		return false
+	}
 }
 
 // DefaultScope reports whether a package import path is one of the
@@ -210,8 +237,10 @@ func AllScope(string) bool { return true }
 // the given module path.
 func Default(modPath string) []Analyzer {
 	scope := DefaultScope(modPath)
+	det := NewDeterminism(scope)
+	det.ConcurrencyOK = ConcurrencyScope(modPath)
 	return []Analyzer{
-		NewDeterminism(scope),
+		det,
 		NewFloatCmp(scope),
 		NewDeadStat(modPath+"/internal/stats", "Sim", modPath),
 		NewDeadKnob(modPath+"/internal/config", []string{"Machine", "Features"},

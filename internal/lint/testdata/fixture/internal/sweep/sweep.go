@@ -1,0 +1,37 @@
+// Package sweep mirrors the real module's parallelism boundary: it is
+// inside the determinism scope but on the concurrency allowlist
+// (lint.ConcurrencyAllowed), so the sync import, goroutines, and
+// channel operations below must NOT be reported — while the
+// non-concurrency determinism rules still apply (the map range at the
+// bottom must be).
+package sweep
+
+import "sync"
+
+// Fan runs job(0..n-1) on n goroutines; every concurrency construct
+// here is allowlisted.
+func Fan(n int, job func(int)) {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job(<-ch)
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	wg.Wait()
+}
+
+// Sum still violates the map-order rule: the allowlist covers
+// concurrency constructs only.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want:determinism
+		total += v
+	}
+	return total
+}

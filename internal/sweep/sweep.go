@@ -1,0 +1,65 @@
+// Package sweep is the simulator's parallelism boundary: a small
+// worker pool that runs many *independent* simulations concurrently
+// while every simulation itself stays single-threaded and
+// deterministic.
+//
+// The contract that keeps batch results byte-identical to a serial
+// loop: each job owns its index and writes only state reachable from
+// that index (its slot in a results slice), jobs never communicate,
+// and callers assemble output in input order after Run returns.  Only
+// the *scheduling* of jobs onto OS threads is nondeterministic, and no
+// simulation result can observe it.
+//
+// This package is the one simulator package permitted to use
+// goroutines and the sync package; the determinism analyzer in
+// internal/lint grants it an explicit concurrency allowlist entry (see
+// lint.ConcurrencyAllowed) rather than a blanket suppression, so its
+// other determinism rules (no wall-clock reads, no global RNG, no
+// map-order dependence) still apply here.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes job(0) … job(n-1) across min(workers, n) goroutines and
+// returns when all have finished.  workers <= 0 selects GOMAXPROCS.
+// Jobs are handed out in index order from a shared counter, but may
+// complete in any order; with workers == 1 (or n <= 1) the jobs run
+// serially on the calling goroutine, which is also the fallback
+// callers can use to bisect any suspected isolation bug.
+func Run(n, workers int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,39 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		Run(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	Run(0, 4, func(int) { t.Error("job called for n=0") })
+	Run(-3, 4, func(int) { t.Error("job called for n<0") })
+}
+
+func TestRunResultsMatchSerial(t *testing.T) {
+	const n = 50
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	got := make([]int, n)
+	Run(n, 8, func(i int) { got[i] = i * i })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package wheel implements the core's completion event wheel: a
+// cycle-indexed calendar of in-flight executions keyed by the cycle
+// their result becomes available.  Popping a cycle's completions costs
+// time proportional to the number of completions due that cycle, not to
+// the number of instructions in flight (the previous design scanned the
+// whole in-flight list every cycle).
+//
+// Deletion is lazy: a squash does not search the wheel.  Stale items
+// (entries squashed, re-renamed, or already completed since they were
+// scheduled) are filtered by the owner's revalidation callback when
+// their slot drains.  See the "exec/pending-store liveness" discussion
+// in internal/core/invariant.go for why this is sound.
+package wheel
+
+import "recyclesim/internal/alist"
+
+// Item is one scheduled completion: the entry and the cycle its slot
+// drains.  Due is the scheduling cycle, not necessarily the entry's
+// ReadyAt (scheduling clamps to at least the cycle after insertion).
+type Item struct {
+	E   *alist.Entry
+	Due uint64
+}
+
+// Wheel is the calendar.  Slots cover the next `horizon` cycles;
+// anything scheduled further out (which cannot happen with the
+// simulator's bounded latencies, but is handled for robustness) goes to
+// the far list and is re-examined as its cycle arrives.
+type Wheel struct {
+	slots [][]Item
+	mask  uint64
+	far   []Item
+	count int // scheduled, not yet drained (stale items included)
+}
+
+// New returns a wheel whose slot ring covers at least `horizon` future
+// cycles (rounded up to a power of two).
+func New(horizon int) *Wheel {
+	n := 1
+	for n < horizon {
+		n <<= 1
+	}
+	return &Wheel{slots: make([][]Item, n), mask: uint64(n - 1)}
+}
+
+// Horizon returns the slot-ring span in cycles.
+func (w *Wheel) Horizon() int { return len(w.slots) }
+
+// Len returns the number of scheduled, undrained items (stale entries
+// awaiting lazy deletion included).
+func (w *Wheel) Len() int { return w.count }
+
+// Schedule files entry e to pop at cycle max(due, now+1).  Completion
+// stages run before issue in a cycle, so nothing scheduled at cycle
+// `now` could drain before `now+1` anyway; the clamp makes that
+// explicit and keeps every filed item in the future.
+func (w *Wheel) Schedule(e *alist.Entry, due, now uint64) {
+	if due <= now {
+		due = now + 1
+	}
+	w.count++
+	if due-now >= uint64(len(w.slots)) {
+		w.far = append(w.far, Item{E: e, Due: due})
+		return
+	}
+	w.slots[due&w.mask] = append(w.slots[due&w.mask], Item{E: e, Due: due})
+}
+
+// PopDue drains every item due at cycle `now` into visit.  Items in the
+// slot belonging to a later lap of the ring are retained; far items
+// whose cycle has come are drained too.  Visit order within a cycle is
+// insertion order and is NOT a determinism boundary: the core sorts the
+// drained batch by (ctx, seq) before acting on it.
+func (w *Wheel) PopDue(now uint64, visit func(Item)) {
+	slot := w.slots[now&w.mask]
+	keep := slot[:0]
+	for _, it := range slot {
+		if it.Due == now {
+			w.count--
+			visit(it)
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	for i := len(keep); i < len(slot); i++ {
+		slot[i] = Item{}
+	}
+	w.slots[now&w.mask] = keep
+
+	if len(w.far) == 0 {
+		return
+	}
+	far := w.far[:0]
+	for _, it := range w.far {
+		switch {
+		case it.Due == now:
+			w.count--
+			visit(it)
+		case it.Due-now < uint64(len(w.slots)):
+			// Close enough to file on the ring now.
+			w.slots[it.Due&w.mask] = append(w.slots[it.Due&w.mask], it)
+		default:
+			far = append(far, it)
+		}
+	}
+	for i := len(far); i < len(w.far); i++ {
+		w.far[i] = Item{}
+	}
+	w.far = far
+}
+
+// Each visits every scheduled item (stale ones included); the runtime
+// invariant checker uses it to audit wheel membership.
+func (w *Wheel) Each(visit func(Item)) {
+	for _, slot := range w.slots {
+		for _, it := range slot {
+			visit(it)
+		}
+	}
+	for _, it := range w.far {
+		visit(it)
+	}
+}
+
+// Reset empties the wheel.
+func (w *Wheel) Reset() {
+	for i := range w.slots {
+		for j := range w.slots[i] {
+			w.slots[i][j] = Item{}
+		}
+		w.slots[i] = w.slots[i][:0]
+	}
+	w.far = w.far[:0]
+	w.count = 0
+}

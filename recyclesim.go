@@ -39,6 +39,7 @@ import (
 	"recyclesim/internal/core"
 	"recyclesim/internal/program"
 	"recyclesim/internal/stats"
+	"recyclesim/internal/sweep"
 	"recyclesim/internal/workload"
 )
 
@@ -62,6 +63,10 @@ const (
 
 // Result carries the statistics of one simulation run.
 type Result = stats.Sim
+
+// CommitInfo describes one committed instruction, delivered through
+// Options.CommitHook in commit order.
+type CommitInfo = core.CommitInfo
 
 // Program is an assembled program image.
 type Program = program.Program
@@ -156,6 +161,13 @@ type Options struct {
 	MaxInsts uint64
 	// MaxCycles bounds simulated cycles (default 4*MaxInsts).
 	MaxCycles uint64
+
+	// CommitHook, when non-nil, observes every committed instruction
+	// in commit order.  Under RunBatch the hook is called from the
+	// worker goroutine running this option's simulation, so a hook
+	// shared between options must be written accordingly (or, better,
+	// each option should get its own hook and sink).
+	CommitHook func(CommitInfo)
 }
 
 // Run executes one simulation and returns its statistics.
@@ -181,7 +193,34 @@ func Run(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.CommitHook = o.CommitHook
 	return c.Run(o.MaxInsts, o.MaxCycles), nil
+}
+
+// RunBatch executes the given simulations concurrently on a worker
+// pool (workers <= 0 selects GOMAXPROCS) and returns their results in
+// input order: results[i] belongs to opts[i].
+//
+// Each simulation is exactly the single-threaded, deterministic run
+// that Run(opts[i]) performs — parallelism exists only *between*
+// simulations, which share no mutable state — so the results are
+// byte-identical to a serial loop over Run (the determinism test in
+// batch_test.go holds this to the commit stream, not just the stats).
+// On error, results[i] is nil for the failed entries and the first
+// error in input order is returned; the remaining simulations still
+// run.
+func RunBatch(opts []Options, workers int) ([]*Result, error) {
+	results := make([]*Result, len(opts))
+	errs := make([]error, len(opts))
+	sweep.Run(len(opts), workers, func(i int) {
+		results[i], errs[i] = Run(opts[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
 }
 
 // NewCore builds a core directly for callers that need cycle-stepping,
