@@ -6,15 +6,17 @@
 #   make build       compile everything, including examples
 #   make lint        the simulator-specific static analyzers (cmd/recyclelint)
 #   make test        full test suite under the race detector
+#   make smoke       one short instrumented run through both telemetry
+#                    exporters (-metrics / -metrics-text), output discarded
 #   make invariant   cosim suite with the runtime invariant checker forced on
 #   make bench       benchmark suite; fails on >10% simInsts/s regression
 #                    vs the committed BENCH_simulator.json, then refreshes it
 
 GO ?= go
 
-.PHONY: check fmt vet build lint test invariant bench
+.PHONY: check fmt vet build lint test smoke invariant bench
 
-check: fmt vet build lint test
+check: fmt vet build lint test smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -33,6 +35,10 @@ lint:
 
 test:
 	$(GO) test -race ./...
+
+smoke:
+	$(GO) run ./cmd/recyclesim -workloads compress -insts 20000 -flightrec 256 -metrics - >/dev/null
+	$(GO) run ./cmd/recyclesim -workloads compress -insts 20000 -flightrec 256 -metrics-text - >/dev/null
 
 invariant:
 	$(GO) test -tags siminvariant ./internal/core/

@@ -46,6 +46,7 @@ func run(args []string) int {
 	out := fs.String("out", "BENCH_simulator.json", "baseline file to gate against and rewrite")
 	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional simInsts/s regression before failing")
 	update := fs.Bool("update", false, "rewrite the baseline without gating")
+	metricsText := fs.String("metrics-text", "", "also write the fresh results as Prometheus-style text to this file (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,8 +81,42 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "benchgate: writing %s: %v\n", *out, err)
 		return 2
 	}
+	if *metricsText != "" {
+		if err := writeMetricsText(*metricsText, fresh); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: writing metrics text: %v\n", err)
+			return 2
+		}
+	}
 	fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *out, len(fresh.Results))
 	return status
+}
+
+// writeMetricsText renders the fresh results as sorted Prometheus-style
+// lines, one per (benchmark, metric) pair.
+func writeMetricsText(path string, d *Doc) error {
+	var sb strings.Builder
+	names := make([]string, 0, len(d.Results))
+	for name := range d.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metrics := d.Results[name]
+		keys := make([]string, 0, len(metrics))
+		for k := range metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "bench_result{benchmark=%q,metric=%q} %s\n",
+				name, k, strconv.FormatFloat(metrics[k], 'g', -1, 64))
+		}
+	}
+	if path == "-" {
+		_, err := os.Stdout.WriteString(sb.String())
+		return err
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
 // parseBench extracts metric values from standard `go test -bench`
@@ -123,17 +158,36 @@ func parseBench(out string) map[string]map[string]float64 {
 
 // gate compares every simInsts/s metric present in both documents and
 // reports (to stdout) and counts regressions beyond the tolerance.
+// Benchmarks present on only one side — a benchmark added since the
+// baseline was recorded, or one that has since been removed — are
+// skipped with a warning rather than failing the gate, so renaming or
+// extending the suite does not require hand-editing the baseline.
 func gate(base, fresh *Doc, tolerance float64) int {
 	names := make([]string, 0, len(fresh.Results))
 	for name := range fresh.Results {
 		names = append(names, name)
+	}
+	for name := range base.Results {
+		if _, ok := fresh.Results[name]; !ok {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	failed := 0
 	for _, name := range names {
 		want, okb := base.Results[name]["simInsts/s"]
 		got, okf := fresh.Results[name]["simInsts/s"]
-		if !okb || !okf || want <= 0 {
+		switch {
+		case !okb && !okf:
+			continue // neither side carries simInsts/s (e.g. a pure ns/op benchmark)
+		case !okb:
+			fmt.Printf("benchgate: warning: %s not in baseline; skipping (will be recorded)\n", name)
+			continue
+		case !okf:
+			fmt.Printf("benchgate: warning: %s in baseline but not in this run; skipping\n", name)
+			continue
+		case want <= 0:
+			fmt.Printf("benchgate: warning: %s baseline simInsts/s is %g; skipping\n", name, want)
 			continue
 		}
 		change := got/want - 1

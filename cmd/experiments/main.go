@@ -34,6 +34,7 @@ import (
 
 	"recyclesim/internal/config"
 	"recyclesim/internal/core"
+	"recyclesim/internal/obs"
 	"recyclesim/internal/stats"
 	"recyclesim/internal/sweep"
 	"recyclesim/internal/workload"
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	all := fs.Bool("all", false, "regenerate everything")
 	insts := fs.Uint64("insts", 300_000, "committed-instruction budget per run")
 	workers := fs.Int("workers", 0, "simulations to run concurrently (0 = GOMAXPROCS)")
+	metrics := fs.String("metrics", "", "write an aggregate JSON telemetry snapshot over all cells to this file (\"-\" for stdout)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Pass 1: dry-run the print functions against io.Discard to collect
 	// the distinct simulation cells they need.
 	r := newRunner()
+	r.withMetrics = *metrics != ""
 	for _, s := range sections {
 		if s.want {
 			s.print(io.Discard, r)
@@ -116,6 +119,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, s := range sections {
 		if s.want {
 			s.print(stdout, r)
+		}
+	}
+
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, stdout, r); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 2
 		}
 	}
 
@@ -157,10 +167,12 @@ type simJob struct {
 // result (the caller is printing to io.Discard); after computeAll,
 // sim() replays the memoized result.
 type runner struct {
-	collect bool
-	seen    map[simKey]int
-	jobs    []simJob
-	results []*stats.Sim
+	collect     bool
+	withMetrics bool
+	seen        map[simKey]int
+	jobs        []simJob
+	results     []*stats.Sim
+	metrics     []*obs.Metrics
 }
 
 func newRunner() *runner {
@@ -185,14 +197,15 @@ func (r *runner) sim(mach config.Machine, feat config.Features, names []string, 
 
 func (r *runner) computeAll(workers int) {
 	r.results = make([]*stats.Sim, len(r.jobs))
+	r.metrics = make([]*obs.Metrics, len(r.jobs))
 	sweep.Run(len(r.jobs), workers, func(i int) {
 		j := r.jobs[i]
-		r.results[i] = runSim(j.mach, j.feat, j.names, j.insts)
+		r.results[i], r.metrics[i] = runSim(j.mach, j.feat, j.names, j.insts, r.withMetrics)
 	})
 	r.collect = false
 }
 
-func runSim(mach config.Machine, feat config.Features, names []string, insts uint64) *stats.Sim {
+func runSim(mach config.Machine, feat config.Features, names []string, insts uint64, hists bool) (*stats.Sim, *obs.Metrics) {
 	progs, err := workload.MixPrograms(names)
 	if err != nil {
 		panic(err)
@@ -201,7 +214,37 @@ func runSim(mach config.Machine, feat config.Features, names []string, insts uin
 	if err != nil {
 		panic(err)
 	}
-	return c.Run(insts, 40*insts)
+	c.Obs.Hists = hists
+	return c.Run(insts, 40*insts), c.Obs
+}
+
+// writeMetrics exports one aggregate snapshot over every computed cell:
+// summed counters, summed stall attribution, merged histograms.  Cells
+// are visited in collection order, so the document is deterministic.
+func writeMetrics(path string, stdout io.Writer, r *runner) error {
+	agg := &stats.Sim{}
+	tel := &obs.Metrics{Hists: true}
+	for i := range r.results {
+		agg.Add(r.results[i])
+		tel.Add(r.metrics[i])
+	}
+	snap := &obs.Snapshot{
+		Name:    fmt.Sprintf("experiments aggregate (%d cells)", len(r.results)),
+		Stats:   agg,
+		Metrics: tel,
+	}
+	if path == "-" {
+		return snap.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 var presets = []string{"SMT", "TME", "REC", "REC/RU", "REC/RS", "REC/RS/RU"}

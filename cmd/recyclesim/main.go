@@ -36,6 +36,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	policy := fs.String("altpolicy", "nostop", "alternate-path policy: stop, fetch, nostop")
 	limit := fs.Int("altlimit", 32, "alternate-path instruction limit")
 	list := fs.Bool("list", false, "list built-in workloads and exit")
+	metricsJSON := fs.String("metrics", "", "write a JSON telemetry snapshot to this file (\"-\" for stdout)")
+	metricsText := fs.String("metrics-text", "", "write a Prometheus-style text snapshot to this file (\"-\" for stdout)")
+	flightrec := fs.Int("flightrec", 0, "record the last N pipeline events and include them in snapshots")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -105,15 +108,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer pprof.StopCPUProfile()
 	}
 
+	wantMetrics := *metricsJSON != "" || *metricsText != ""
+	var tel *recyclesim.Telemetry
+	var ring *recyclesim.FlightRecorder
+	if wantMetrics {
+		tel = &recyclesim.Telemetry{Hists: true}
+	}
+	if *flightrec > 0 {
+		ring = recyclesim.NewFlightRecorder(*flightrec)
+	}
+
 	res, err := recyclesim.Run(recyclesim.Options{
-		Machine:   mach,
-		Features:  feat,
-		Workloads: names,
-		MaxInsts:  *insts,
+		Machine:        mach,
+		Features:       feat,
+		Workloads:      names,
+		MaxInsts:       *insts,
+		Telemetry:      tel,
+		FlightRecorder: ring,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+
+	if wantMetrics {
+		snap := &recyclesim.Snapshot{
+			Name:    strings.Join(names, "+") + "/" + recyclesim.FeatureName(feat),
+			Stats:   res,
+			Metrics: tel,
+			Ring:    ring,
+		}
+		write := func(path string, f func(io.Writer) error) error {
+			if path == "" {
+				return nil
+			}
+			if path == "-" {
+				return f(stdout)
+			}
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := f(out); err != nil {
+				out.Close()
+				return err
+			}
+			return out.Close()
+		}
+		if err := write(*metricsJSON, snap.WriteJSON); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := write(*metricsText, snap.WriteText); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 
 	if *memprofile != "" {
@@ -130,6 +179,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *metricsJSON == "-" || *metricsText == "-" {
+		return 0 // snapshot owns stdout; keep it machine-readable
+	}
 	fmt.Fprintf(stdout, "machine    %s\n", *machine)
 	fmt.Fprintf(stdout, "features   %s (alt %s-%d)\n", recyclesim.FeatureName(feat), feat.AltPolicy, feat.AltLimit)
 	fmt.Fprintf(stdout, "workloads  %s\n", strings.Join(names, ", "))

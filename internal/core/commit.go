@@ -1,6 +1,9 @@
 package core
 
-import "recyclesim/internal/regfile"
+import (
+	"recyclesim/internal/obs"
+	"recyclesim/internal/regfile"
+)
 
 // commit retires executed instructions in order from each context's
 // active list, up to the machine's commit width.  Only primary threads
@@ -88,6 +91,10 @@ func (c *Core) commitOne(t *Context) bool {
 	t.al.CommitHead()
 	c.Stats.Committed++
 	lp.committed++
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageCommit,
+			Ctx: int16(t.id), Seq: e.Seq, PC: e.PC, Arg: e.Result})
+	}
 	if lp.idx < len(c.Stats.PerProgram) {
 		c.Stats.PerProgram[lp.idx]++
 	}
@@ -128,6 +135,10 @@ func (c *Core) haltProgram(p *Partition) {
 	p.prog.halted = true
 	p.done = true
 	c.haltedPrograms++
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageHalt,
+			Ctx: int16(p.primary), Arg: uint64(p.id)})
+	}
 	for _, id := range p.ctxIDs {
 		t := c.ctxs[id]
 		if t.state == CtxIdle {

@@ -191,11 +191,12 @@ func (s *recycleStream) done() bool { return s.pos >= len(s.items) }
 // forkPath records per-alternate-path statistics accumulated between
 // spawn and deletion (Table 1 columns 4-7).
 type forkPath struct {
-	live      bool
-	usedTME   bool
-	recycled  bool
-	respawned bool
-	merges    int
+	live       bool
+	usedTME    bool
+	recycled   bool
+	respawned  bool
+	merges     int
+	spawnCycle uint64 // cycle the path was spawned (fork-lifetime telemetry)
 }
 
 // Context is one hardware context of the SMT/TME machine.

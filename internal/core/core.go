@@ -21,6 +21,7 @@ import (
 	"recyclesim/internal/fu"
 	"recyclesim/internal/iq"
 	"recyclesim/internal/isa"
+	"recyclesim/internal/obs"
 	"recyclesim/internal/program"
 	"recyclesim/internal/recycle"
 	"recyclesim/internal/regfile"
@@ -99,12 +100,28 @@ type Core struct {
 
 	Stats *stats.Sim
 
+	// Obs accumulates the run's telemetry: the rename slot-cycle
+	// attribution (always on) and, when Obs.Hists is set before the
+	// first cycle, the occupancy/stream/fork histograms.
+	Obs *obs.Metrics
+
+	// ring, when non-nil, records a typed event per pipeline action
+	// (the flight recorder).  Every call site must be guarded with
+	// `if c.ring != nil` so composing the Event costs nothing when the
+	// recorder is detached — the cycle loop is required to be
+	// allocation-free in steady state, and the traceguard analyzer
+	// enforces the guard.
+	ring *obs.Ring
+
+	// Per-cycle rename slot attribution, reset by attributeSlots:
+	// rename counts the slots that accepted fetched and recycled
+	// instructions and records the first structural-stall cause hit.
+	slotFetched  int
+	slotRecycled int
+	slotStall    obs.Cause
+
 	// CommitHook, when set, observes every committed instruction.
 	CommitHook func(CommitInfo)
-
-	// debugTrace, when non-nil, receives pipeline event strings (used
-	// only by the test suite's divergence debugging).
-	debugTrace func(string)
 
 	haltedPrograms int
 }
@@ -143,6 +160,7 @@ func New(mach config.Machine, feat config.Features, progs []*program.Program) (*
 		mdb:     recycle.NewMDB(mdbCapacity),
 		exec:    wheel.New(wheelHorizon),
 		Stats:   &stats.Sim{},
+		Obs:     &obs.Metrics{},
 	}
 	c.pendingSt = make([]*alist.Entry, 0, mach.Contexts*4)
 	c.due = make([]*alist.Entry, 0, 64)
@@ -218,6 +236,7 @@ func (c *Core) Cycle() {
 	c.issue()
 	c.rename()
 	c.fetch()
+	c.attributeSlots()
 	//simlint:ignore deadstat -- monotonic snapshot of the cycle counter, not an increment
 	c.Stats.Cycles = c.cycle
 	if c.invariantEvery != 0 && c.cycle%c.invariantEvery == 0 {
@@ -310,21 +329,20 @@ func (c *Core) removeFromBack(ctx int, fromSeq uint64) {
 	c.ctxs[ctx].sq.dropFrom(fromSeq)
 }
 
-// trace emits a pipeline debug event.  Callers must guard every call
-// with `if c.debugTrace != nil`: the variadic boxing of the arguments
-// allocates at the call site even when tracing is off, and the cycle
-// loop is required to be allocation-free in steady state.
-func (c *Core) trace(format string, args ...interface{}) {
-	if c.debugTrace != nil {
-		c.debugTrace(fmt.Sprintf(format, args...))
-	}
-}
+// SetRing attaches (or, with nil, detaches) a flight recorder.  The
+// ring receives one typed event per pipeline action; attach it before
+// the first cycle for a complete record.
+func (c *Core) SetRing(r *obs.Ring) { c.ring = r }
+
+// FlightRing returns the attached flight recorder, or nil.
+func (c *Core) FlightRing() *obs.Ring { return c.ring }
 
 // squashFrom removes every instruction in ctx with Seq >= seq, plus any
 // child contexts forked from the squashed range (recursively).
 func (c *Core) squashFrom(ctx int, seq uint64) {
-	if c.debugTrace != nil {
-		c.trace("cyc=%d squash ctx=%d from=%d tail=%d", c.cycle, ctx, seq, c.ctxs[ctx].al.TailSeq())
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageSquash,
+			Ctx: int16(ctx), Seq: seq, Arg: c.ctxs[ctx].al.TailSeq()})
 	}
 	t := c.ctxs[ctx]
 	// Children forked off squashed branches die entirely.
@@ -363,6 +381,9 @@ func (c *Core) finishPath(t *Context) {
 		return
 	}
 	c.Stats.ForksDeleted++
+	if c.Obs.Hists {
+		c.Obs.ForkLife.Observe(c.cycle - t.path.spawnCycle)
+	}
 	if t.path.usedTME {
 		c.Stats.ForksUsedTME++
 	}
@@ -383,11 +404,9 @@ func (c *Core) killContext(t *Context) {
 	if t.state == CtxIdle {
 		return
 	}
-	if c.debugTrace != nil {
-		c.trace("cyc=%d kill ctx=%d state=%v prim=%v parent=%d/%d", c.cycle, t.id, t.state, t.isPrimary, t.parentCtx, t.parentSeq)
-		if t.isPrimary && !t.part.done {
-			c.trace("cyc=%d KILLING LIVE PRIMARY ctx=%d", c.cycle, t.id)
-		}
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageKill,
+			Ctx: int16(t.id), Seq: t.parentSeq, PC: t.fetchPC, Arg: uint64(t.state)})
 	}
 	// Recursively kill this context's own children first.
 	for _, cc := range c.ctxs {

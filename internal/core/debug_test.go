@@ -5,6 +5,7 @@ import (
 
 	"recyclesim/internal/config"
 	"recyclesim/internal/emu"
+	"recyclesim/internal/obs"
 	"recyclesim/internal/program"
 	"recyclesim/internal/workload"
 )
@@ -26,13 +27,7 @@ func TestDebugDivergence(t *testing.T) {
 		epc uint64
 	}
 	var hist []rec
-	var events []string
-	c.debugTrace = func(s string) {
-		events = append(events, s)
-		if len(events) > 400 {
-			events = events[len(events)-400:]
-		}
-	}
+	c.SetRing(obs.NewRing(400))
 	diverged := false
 	c.CommitHook = func(ci CommitInfo) {
 		if diverged {
@@ -50,12 +45,13 @@ func TestDebugDivergence(t *testing.T) {
 				t.Logf("ctx=%d pc=0x%x (emu 0x%x) %v taken=%v reused=%v result=%d",
 					r.ci.Ctx, r.ci.PC, r.epc, r.ci.Inst, r.ci.Taken, r.ci.Reused, r.ci.Result)
 			}
+			events := c.FlightRing().Events()
 			n = len(events) - 150
 			if n < 0 {
 				n = 0
 			}
-			for _, s := range events[n:] {
-				t.Log(s)
+			for _, e := range events[n:] {
+				t.Log(e.String())
 			}
 			t.Fail()
 		}
@@ -71,13 +67,7 @@ func TestDebugDeadlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var events []string
-	c.debugTrace = func(s string) {
-		events = append(events, s)
-		if len(events) > 600 {
-			events = events[len(events)-600:]
-		}
-	}
+	c.SetRing(obs.NewRing(600))
 	last, lastCycle := uint64(0), uint64(0)
 	for i := 0; i < 4_000_000; i++ {
 		c.Cycle()
@@ -123,10 +113,8 @@ func TestDebugDeadlock(t *testing.T) {
 		}
 	}
 	t.Logf("stalls: regs=%d al=%d iq=%d reclaims=%d", c.Stats.RenameStallRegs, c.Stats.RenameStallAL, c.Stats.IQFullStalls, c.Stats.Reclaims)
-	for _, s := range events {
-		if len(s) > 0 {
-			t.Log(s)
-		}
+	for _, e := range c.FlightRing().Events() {
+		t.Log(e.String())
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"recyclesim/internal/config"
 	"recyclesim/internal/isa"
+	"recyclesim/internal/obs"
 )
 
 // ctxCand pairs a context with its precomputed priority key for the
@@ -54,6 +55,10 @@ func (c *Core) fetch() {
 			// I-cache miss: the thread's fetch stalls until the fill
 			// completes; the slot is consumed.
 			t.fetchStallUntil = c.cycle + uint64(lat)
+			if c.ring != nil {
+				c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageStall,
+					Ctx: int16(t.id), Cause: obs.CauseICacheMiss, PC: t.fetchPC, Arg: uint64(lat)})
+			}
 			continue
 		}
 		readyAt := c.cycle + uint64(lat) + uint64(c.mach.FrontEndLat)
@@ -111,6 +116,10 @@ func (c *Core) fetch() {
 			n++
 			width--
 			pc += isa.InstBytes
+		}
+		if c.ring != nil && n > 0 {
+			c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageFetch,
+				Ctx: int16(t.id), PC: t.fetchPC, Arg: uint64(n)})
 		}
 		if !merged {
 			// (On a mid-block merge, startStream already pointed the
@@ -284,9 +293,13 @@ func (c *Core) startStream(t, src *Context, seq uint64, back bool) bool {
 	stream := c.buildStream(t, items, srcCtx, back)
 	stream.preDrain = t.fqLen()
 	t.stream = stream
-	if c.debugTrace != nil {
-		c.trace("cyc=%d merge ctx=%d src=%d back=%v pc=0x%x items=%d next=0x%x preDrain=%d",
-			c.cycle, t.id, src.id, back, items[0].pc, len(t.stream.items), t.stream.nextPC, t.stream.preDrain)
+	if c.ring != nil {
+		// Arg packs the post-truncation stream length (high bits) with
+		// the source context (low 16); a backward merge is recognizable
+		// by source == consumer.
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageMerge,
+			Ctx: int16(t.id), Seq: seq, PC: items[0].pc,
+			Arg: uint64(len(t.stream.items))<<16 | uint64(uint16(src.id))})
 	}
 	// "Fetching immediately continues from where recycling will
 	// complete."
@@ -356,6 +369,9 @@ func (c *Core) buildStream(t *Context, items []streamItem, srcCtx int, back bool
 		srcCtx: srcCtx,
 		back:   back,
 		nextPC: nextPC,
+	}
+	if c.Obs.Hists {
+		c.Obs.StreamLen.Observe(uint64(len(items)))
 	}
 	return &t.streamStore
 }

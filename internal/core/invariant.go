@@ -8,6 +8,7 @@ import (
 	"recyclesim/internal/invariant"
 	"recyclesim/internal/iq"
 	"recyclesim/internal/isa"
+	"recyclesim/internal/obs"
 	"recyclesim/internal/regfile"
 	"recyclesim/internal/wheel"
 )
@@ -45,7 +46,9 @@ var defaultInvariantEvery uint64 = 0
 //   - outstanding-reuse conservation: each context's pin count equals
 //     the number of uncommitted reused entries naming it as source;
 //   - written-bit coherence: a clear bit promises an unchanged mapping
-//     (checked where the trace itself did not write the register).
+//     (checked where the trace itself did not write the register);
+//   - telemetry conservation: the rename slot-cycle attribution sums to
+//     cycles × rename width with nothing charged to the null cause.
 func (c *Core) CheckInvariants() *invariant.Report {
 	r := invariant.NewReport(c.cycle)
 	c.checkRegfile(r)
@@ -53,6 +56,7 @@ func (c *Core) CheckInvariants() *invariant.Report {
 	c.checkQueues(r)
 	c.checkReuse(r)
 	c.checkWrittenBits(r)
+	c.checkTelemetry(r)
 	return r
 }
 
@@ -338,6 +342,24 @@ func ctxWroteRegs(t *Context) [isa.NumRegs]bool {
 	return wrote
 }
 
+// checkTelemetry verifies the stall-attribution identity: every rename
+// slot of every elapsed cycle was charged to exactly one real cause, so
+// the attribution array sums to cycles × rename width and the null
+// cause holds nothing.  (attributeSlots establishes this at the end of
+// each Cycle; a violation means a rename path updated slot counts
+// without flowing through it.)
+func (c *Core) checkTelemetry(r *invariant.Report) {
+	total := c.Obs.TotalSlotCycles()
+	want := c.cycle * uint64(c.mach.RenameWidth)
+	if total != want {
+		r.Failf("telemetry", "slot-cycle attribution sums to %d but cycles(%d) x rename width(%d) = %d",
+			total, c.cycle, c.mach.RenameWidth, want)
+	}
+	if n := c.Obs.SlotCycles[obs.CauseNone]; n != 0 {
+		r.Failf("telemetry", "%d slot-cycles charged to the null cause", n)
+	}
+}
+
 // dumpState renders a cycle-stamped snapshot of the machine for the
 // invariant panic message.
 func (c *Core) dumpState() string {
@@ -360,6 +382,12 @@ func (c *Core) dumpState() string {
 	}
 	for _, p := range c.parts {
 		fmt.Fprintf(&b, "  part=%d primary=%d done=%v mask=%04x\n", p.id, p.primary, p.done, p.mask)
+	}
+	if c.ring != nil && c.ring.Len() > 0 {
+		fmt.Fprintf(&b, "flight recorder (last %d of %d events):\n", c.ring.Len(), c.ring.Total())
+		for _, e := range c.ring.Events() {
+			fmt.Fprintf(&b, "  %s\n", e.String())
+		}
 	}
 	return b.String()
 }

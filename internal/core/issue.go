@@ -4,6 +4,7 @@ import (
 	"recyclesim/internal/alist"
 	"recyclesim/internal/iq"
 	"recyclesim/internal/isa"
+	"recyclesim/internal/obs"
 	"recyclesim/internal/regfile"
 	"recyclesim/internal/wheel"
 )
@@ -132,6 +133,10 @@ func (c *Core) execute(t *Context, e *alist.Entry) {
 	s2 := c.srcValue(e.Src2)
 	lat := in.Latency()
 	e.Issued = true
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageIssue,
+			Ctx: int16(e.Ctx), Seq: e.Seq, PC: e.PC, Arg: uint64(in.Op)})
+	}
 
 	switch {
 	case in.IsLoad():
@@ -279,6 +284,10 @@ func dueLess(a, b *alist.Entry) bool {
 func (c *Core) completeEntry(t *Context, e *alist.Entry) {
 	e.Executed = true
 	in := e.Inst
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageComplete,
+			Ctx: int16(e.Ctx), Seq: e.Seq, PC: e.PC, Arg: e.Result})
+	}
 	if in.WritesReg() && e.NewMap != regfile.NoReg {
 		c.rf.SetValue(e.NewMap, e.Result)
 	}

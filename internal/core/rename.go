@@ -5,6 +5,7 @@ import (
 	"recyclesim/internal/config"
 	"recyclesim/internal/iq"
 	"recyclesim/internal/isa"
+	"recyclesim/internal/obs"
 	"recyclesim/internal/regfile"
 )
 
@@ -32,6 +33,7 @@ func (c *Core) rename() {
 			}
 			t.popFetched()
 			slots--
+			c.slotFetched++
 		}
 	}
 
@@ -52,6 +54,7 @@ func (c *Core) rename() {
 				break
 			}
 			slots--
+			c.slotRecycled++
 			if !proceed {
 				// Prediction disagreed with the trace: recycling
 				// stops and fetch continues on the new path.
@@ -147,6 +150,7 @@ func (c *Core) allocEntry(t *Context, pc uint64, in isa.Inst) *alist.Entry {
 		}
 		if q.Full() {
 			c.Stats.IQFullStalls++
+			c.noteStall(t, obs.CauseIQFull, pc)
 			return nil
 		}
 	}
@@ -155,6 +159,7 @@ func (c *Core) allocEntry(t *Context, pc uint64, in isa.Inst) *alist.Entry {
 		r, ok := c.rf.Alloc(in.Rd.IsFP())
 		if !ok {
 			c.Stats.RenameStallRegs++
+			c.noteStall(t, obs.CauseRenameRegs, pc)
 			c.reclaimForRegs()
 			return nil
 		}
@@ -166,6 +171,7 @@ func (c *Core) allocEntry(t *Context, pc uint64, in isa.Inst) *alist.Entry {
 			c.rf.Release(newMap)
 		}
 		c.Stats.RenameStallAL++
+		c.noteStall(t, obs.CauseRenameAL, pc)
 		return nil
 	}
 	if evicted != ^uint64(0) {
@@ -176,8 +182,9 @@ func (c *Core) allocEntry(t *Context, pc uint64, in isa.Inst) *alist.Entry {
 		}
 	}
 
-	if c.debugTrace != nil {
-		c.trace("cyc=%d rename ctx=%d seq=%d pc=0x%x %v", c.cycle, t.id, e.Seq, pc, in)
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageRename,
+			Ctx: int16(t.id), Seq: e.Seq, PC: pc, Arg: uint64(in.Op)})
 	}
 	e.Ctx = t.id
 	e.PC = pc

@@ -4,6 +4,7 @@ import (
 	"recyclesim/internal/alist"
 	"recyclesim/internal/config"
 	"recyclesim/internal/isa"
+	"recyclesim/internal/obs"
 	"recyclesim/internal/regfile"
 )
 
@@ -35,8 +36,9 @@ func (c *Core) tryFork(t *Context, e *alist.Entry) {
 		return
 	}
 	c.activateAlternate(t, e, a, altPC, nil)
-	if c.debugTrace != nil {
-		c.trace("cyc=%d fork ctx=%d alt=%d branch pc=0x%x altPC=0x%x", c.cycle, t.id, a.id, e.PC, altPC)
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageFork,
+			Ctx: int16(t.id), Seq: e.Seq, PC: e.PC, Arg: uint64(a.id)})
 	}
 	c.Stats.Forks++
 }
@@ -95,6 +97,10 @@ func (c *Core) allocSpare(t *Context) *Context {
 	}
 	if lru != nil {
 		c.Stats.Reclaims++
+		if c.ring != nil {
+			c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageReclaim,
+				Ctx: int16(lru.id), PC: lru.spawnPC})
+		}
 		c.killContext(lru)
 		return lru
 	}
@@ -117,7 +123,7 @@ func (c *Core) activateAlternate(t *Context, e *alist.Entry, a *Context, altPC u
 	a.fetchHalted = false
 	a.fetchStallUntil = 0
 	a.stream = stream
-	a.path = forkPath{live: true}
+	a.path = forkPath{live: true, spawnCycle: c.cycle}
 
 	// Duplicate the register map (the MSB makes this free in hardware:
 	// "we can duplicate register state simply by duplicating the first
@@ -168,6 +174,10 @@ func (c *Core) respawn(t *Context, e *alist.Entry, a *Context, altPC uint64) {
 	a.stream = stream
 	a.fetchPC = stream.nextPC
 	a.path.respawned = true
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageRespawn,
+			Ctx: int16(t.id), Seq: e.Seq, PC: e.PC, Arg: uint64(a.id)})
+	}
 	c.Stats.Forks++
 	c.Stats.Respawns++
 	c.Stats.Merges++
@@ -189,6 +199,10 @@ func (c *Core) reclaimForRegs() {
 	}
 	if lru != nil {
 		c.Stats.Reclaims++
+		if c.ring != nil {
+			c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageReclaim,
+				Ctx: int16(lru.id), PC: lru.spawnPC, Cause: obs.CauseRenameRegs})
+		}
 		c.killContext(lru)
 	}
 }
@@ -262,8 +276,9 @@ func (c *Core) resolveBranch(t *Context, e *alist.Entry) {
 			t.isPrimary = true
 			t.part.primary = t.id
 			c.written.SetAll(t.part.mask)
-			if c.debugTrace != nil {
-				c.trace("cyc=%d reinstate primary ctx=%d", c.cycle, t.id)
+			if c.ring != nil {
+				c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageReinstate,
+					Ctx: int16(t.id), Seq: e.Seq, PC: e.PC})
 			}
 		}
 	}
@@ -359,8 +374,9 @@ func (c *Core) promote(t *Context, e *alist.Entry, a *Context) {
 	a.path.usedTME = true
 	c.finishPath(a)
 	t.part.primary = a.id
-	if c.debugTrace != nil {
-		c.trace("cyc=%d promote ctx=%d -> ctx=%d branch pc=0x%x seq=%d", c.cycle, t.id, a.id, e.PC, e.Seq)
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StagePromote,
+			Ctx: int16(t.id), Seq: e.Seq, PC: e.PC, Arg: uint64(a.id)})
 	}
 
 	// The promoted thread's alternate-path writes were never recorded

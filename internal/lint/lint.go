@@ -182,6 +182,7 @@ var SimPackages = []string{
 	"internal/fu",
 	"internal/iq",
 	"internal/isa",
+	"internal/obs",
 	"internal/program",
 	"internal/recycle",
 	"internal/regfile",
@@ -245,5 +246,9 @@ func Default(modPath string) []Analyzer {
 		NewDeadStat(modPath+"/internal/stats", "Sim", modPath),
 		NewDeadKnob(modPath+"/internal/config", []string{"Machine", "Features"},
 			[]string{modPath + "/internal/core", modPath + "/internal/config"}),
+		NewTraceGuard(scope, []GuardRule{
+			{RecvType: modPath + "/internal/core.Core", Method: "trace", GuardField: "debugTrace"},
+			{RecvType: modPath + "/internal/obs.Ring", Method: "Record"},
+		}),
 	}
 }

@@ -1,0 +1,56 @@
+package core
+
+import "fixture/internal/obs"
+
+// Core carries the optional telemetry hooks the traceguard analyzer
+// watches: a legacy string-trace closure and a flight-recorder ring.
+// Both are nil when telemetry is off, so every call must sit inside the
+// matching nil check.
+type Core struct {
+	debugTrace func(string)
+	ring       *obs.Ring
+	cycle      uint64
+}
+
+func (c *Core) trace(s string) { c.debugTrace(s) }
+
+// GuardedSites holds the negative space: calls correctly dominated by
+// their nil checks, including a guard conjoined with another condition
+// and a guard spelled nil-first.
+func (c *Core) GuardedSites(n int) {
+	if c.debugTrace != nil {
+		c.trace("renamed")
+	}
+	if c.ring != nil {
+		c.ring.Record(obs.Event{Cycle: c.cycle})
+	}
+	if c.ring != nil && n > 0 {
+		c.ring.Record(obs.Event{Cycle: c.cycle, Arg: uint64(n)})
+	}
+	if nil != c.ring {
+		c.ring.Record(obs.Event{Cycle: c.cycle})
+	}
+	r := obs.NewRing(16)
+	if r != nil {
+		r.Record(obs.Event{Cycle: c.cycle})
+	}
+}
+
+// UnguardedSites holds the findings: bare calls, a call guarded by the
+// wrong hook, a guard that is only one side of ||, and a call in an
+// else branch of the right check.
+func (c *Core) UnguardedSites(n int) {
+	c.trace("fetch")                         // want:traceguard
+	c.ring.Record(obs.Event{Cycle: c.cycle}) // want:traceguard
+	if c.debugTrace != nil {                 // wrong guard for the ring
+		c.ring.Record(obs.Event{Cycle: c.cycle}) // want:traceguard
+	}
+	if c.ring != nil || n > 0 {
+		c.ring.Record(obs.Event{Cycle: c.cycle}) // want:traceguard
+	}
+	if c.ring != nil {
+		_ = n
+	} else {
+		c.ring.Record(obs.Event{Cycle: c.cycle}) // want:traceguard
+	}
+}

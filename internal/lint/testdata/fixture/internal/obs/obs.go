@@ -1,0 +1,24 @@
+// Package obs is a minimal stand-in for the real telemetry package so
+// the traceguard fixture can exercise the Ring.Record rule.
+package obs
+
+// Event is one telemetry record.
+type Event struct {
+	Cycle uint64
+	Arg   uint64
+}
+
+// Ring is a bounded event recorder; a nil Ring means recording is off.
+type Ring struct {
+	buf []Event
+	n   uint64
+}
+
+// NewRing builds a recorder holding the last n events.
+func NewRing(n int) *Ring { return &Ring{buf: make([]Event, n)} }
+
+// Record appends one event, overwriting the oldest.
+func (r *Ring) Record(e Event) {
+	r.buf[r.n%uint64(len(r.buf))] = e
+	r.n++
+}

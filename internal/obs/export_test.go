@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"recyclesim/internal/stats"
+)
+
+func TestSnake(t *testing.T) {
+	cases := map[string]string{
+		"IPC":             "ipc",
+		"BTBMisses":       "btb_misses",
+		"Cycles":          "cycles",
+		"PctForksUsedTME": "pct_forks_used_tme",
+		"RenameStallAL":   "rename_stall_al",
+		"IQFullStalls":    "iq_full_stalls",
+		"PerProgram":      "per_program",
+	}
+	for in, want := range cases {
+		if got := snake(in); got != want {
+			t.Errorf("snake(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCountersCoverEveryStatsField(t *testing.T) {
+	s := &stats.Sim{Cycles: 7, Committed: 3, PerProgram: []uint64{1, 2}}
+	cs := Counters(s)
+	byName := map[string]uint64{}
+	perProg := 0
+	for _, c := range cs {
+		if c.Index >= 0 {
+			perProg++
+			continue
+		}
+		byName[c.Name] = c.Value
+	}
+	if byName["cycles"] != 7 || byName["committed"] != 3 {
+		t.Errorf("counters: %v", byName)
+	}
+	if perProg != 2 {
+		t.Errorf("per-program counters: %d, want 2", perProg)
+	}
+	// One scalar counter per uint64 field: the reflection walk must not
+	// silently skip a field.
+	if len(byName) < 25 {
+		t.Errorf("only %d scalar counters; stats fields missing from export", len(byName))
+	}
+}
+
+func TestDerivedClampsNonFinite(t *testing.T) {
+	for _, d := range Derived(&stats.Sim{}) {
+		if d.Value != 0 {
+			t.Errorf("%s on zero stats = %v, want 0", d.Name, d.Value)
+		}
+	}
+	names := map[string]bool{}
+	for _, d := range Derived(&stats.Sim{Cycles: 4, Committed: 8}) {
+		names[d.Name] = true
+		if d.Name == "ipc" && d.Value != 2 {
+			t.Errorf("ipc = %v, want 2", d.Value)
+		}
+	}
+	if !names["ipc"] || !names["mispredict_rate"] {
+		t.Errorf("derived set incomplete: %v", names)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	m := &Metrics{Hists: true}
+	m.SlotCycles[CauseBusyFetch] = 12
+	m.SlotCycles[CauseIdle] = 4
+	m.ALOcc.Observe(3)
+	r := NewRing(16)
+	r.Record(Event{Cycle: 1, Stage: StageCommit, Ctx: 0, Seq: 9, PC: 0x40, Arg: 5})
+	snap := &Snapshot{
+		Name:    "unit",
+		Stats:   &stats.Sim{Cycles: 4, Committed: 8},
+		Metrics: m,
+		Ring:    r,
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc["name"] != "unit" {
+		t.Errorf("name = %v", doc["name"])
+	}
+	if doc["slot_cycles_total"] != float64(16) {
+		t.Errorf("slot_cycles_total = %v", doc["slot_cycles_total"])
+	}
+	fr, ok := doc["flight_recorder"].([]any)
+	if !ok || len(fr) != 1 {
+		t.Fatalf("flight_recorder = %v", doc["flight_recorder"])
+	}
+	ev := fr[0].(map[string]any)
+	if ev["stage"] != "commit" || ev["seq"] != float64(9) {
+		t.Errorf("event = %v", ev)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	m := &Metrics{Hists: true}
+	m.SlotCycles[CauseRecycle] = 6
+	m.StreamLen.Observe(4)
+	m.StreamLen.Observe(9)
+	snap := &Snapshot{Stats: &stats.Sim{Cycles: 3}, Metrics: m}
+	var buf bytes.Buffer
+	if err := snap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sim_cycles 3",
+		`sim_slot_cycles{cause="recycle_inject"} 6`,
+		"sim_slot_cycles_total 6",
+		"sim_recycle_stream_len_count 2",
+		"sim_recycle_stream_len_sum 13",
+		`sim_recycle_stream_len_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text export missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the le="7" bucket holds the 4 sample only.
+	if !strings.Contains(out, `sim_recycle_stream_len_bucket{le="7"} 1`) {
+		t.Errorf("cumulative bucket counts wrong:\n%s", out)
+	}
+}

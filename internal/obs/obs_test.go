@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStageAndCauseStrings(t *testing.T) {
+	for s := Stage(0); s < numStages; s++ {
+		if name := s.String(); name == "stage?" || name == "" {
+			t.Errorf("Stage %d has no name", s)
+		}
+	}
+	for c := Cause(0); c < NumCauses; c++ {
+		if name := c.String(); name == "cause?" || name == "" {
+			t.Errorf("Cause %d has no name", c)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 42, Stage: StageStall, Cause: CauseIQFull, Ctx: -1, Seq: 7, PC: 0x1a0, Arg: 3}
+	got := e.String()
+	for _, want := range []string{"cyc=42", "stall", "ctx=-1", "cause=iq_full", "seq=7", "pc=0x1a0", "arg=3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Event.String() = %q, missing %q", got, want)
+		}
+	}
+	if got := (Event{Stage: StageCommit}).String(); strings.Contains(got, "cause=") {
+		t.Errorf("CauseNone must be elided: %q", got)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(20) // rounds up to 32
+	if len(r.buf) != 32 {
+		t.Fatalf("ring size %d, want 32", len(r.buf))
+	}
+	for i := 0; i < 50; i++ {
+		r.Record(Event{Cycle: uint64(i)})
+	}
+	if r.Len() != 32 || r.Total() != 50 {
+		t.Fatalf("Len=%d Total=%d, want 32/50", r.Len(), r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 32 {
+		t.Fatalf("Events() returned %d", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(18 + i); e.Cycle != want {
+			t.Fatalf("event %d cycle %d, want %d (oldest-first after wrap)", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(0) // minimum 16
+	r.Record(Event{Cycle: 1})
+	r.Record(Event{Cycle: 2})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Cycle != 1 || ev[1].Cycle != 2 {
+		t.Fatalf("Events = %v", ev)
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	samples := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{16383, 14}, {16384, 15}, {1 << 40, 15},
+	}
+	for _, s := range samples {
+		h.Observe(s.v)
+	}
+	for _, s := range samples {
+		if h.Buckets[s.bucket] == 0 {
+			t.Errorf("sample %d landed outside bucket %d: %v", s.v, s.bucket, h.Buckets)
+		}
+	}
+	if h.Count != uint64(len(samples)) {
+		t.Errorf("Count = %d", h.Count)
+	}
+	if h.Max != 1<<40 {
+		t.Errorf("Max = %d", h.Max)
+	}
+	var sum uint64
+	for _, b := range h.Buckets {
+		sum += b
+	}
+	if sum != h.Count {
+		t.Errorf("bucket sum %d != count %d", sum, h.Count)
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	if u, ok := BucketUpper(0); !ok || u != 0 {
+		t.Errorf("bucket 0 upper = %d,%v", u, ok)
+	}
+	if u, ok := BucketUpper(3); !ok || u != 7 {
+		t.Errorf("bucket 3 upper = %d,%v", u, ok)
+	}
+	if _, ok := BucketUpper(histBuckets - 1); ok {
+		t.Error("overflow bucket must be unbounded")
+	}
+}
+
+func TestHistMeanEmpty(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 {
+		t.Errorf("empty Mean = %v", h.Mean())
+	}
+}
+
+func TestMetricsAddAndFractions(t *testing.T) {
+	a := &Metrics{}
+	a.SlotCycles[CauseBusyFetch] = 30
+	a.SlotCycles[CauseIdle] = 10
+	b := &Metrics{Hists: true}
+	b.SlotCycles[CauseBusyFetch] = 10
+	b.ALOcc.Observe(5)
+	a.Add(b)
+	if !a.Hists {
+		t.Error("Add must propagate Hists")
+	}
+	if a.TotalSlotCycles() != 50 {
+		t.Errorf("total = %d", a.TotalSlotCycles())
+	}
+	if f := a.SlotFraction(CauseBusyFetch); f != 0.8 {
+		t.Errorf("busy fraction = %v", f)
+	}
+	if f := (&Metrics{}).SlotFraction(CauseIdle); f != 0 {
+		t.Errorf("empty fraction = %v", f)
+	}
+	if a.ALOcc.Count != 1 {
+		t.Errorf("ALOcc not merged: %+v", a.ALOcc)
+	}
+}
+
+func TestRecordAllocFree(t *testing.T) {
+	r := NewRing(64)
+	var h Hist
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(Event{Cycle: r.n, Stage: StageCommit})
+		h.Observe(r.n)
+	})
+	if allocs != 0 {
+		t.Errorf("Record+Observe allocate %v per op, want 0", allocs)
+	}
+}

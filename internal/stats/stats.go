@@ -167,4 +167,10 @@ func (s *Sim) Add(other *Sim) {
 	s.Reclaims += other.Reclaims
 	s.ForkFailNoCtx += other.ForkFailNoCtx
 	s.ForkFailReuse += other.ForkFailReuse
+	for len(s.PerProgram) < len(other.PerProgram) {
+		s.PerProgram = append(s.PerProgram, 0)
+	}
+	for i, v := range other.PerProgram {
+		s.PerProgram[i] += v
+	}
 }

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -66,6 +68,89 @@ func TestAdd(t *testing.T) {
 	a.Add(b)
 	if a.Cycles != 15 || a.Committed != 30 || a.Merges != 4 || a.Forks != 3 || a.Recycled != 7 {
 		t.Errorf("Add: %+v", a)
+	}
+}
+
+// TestAddCoversAllFields fills every field of a Sim with a distinct
+// nonzero value via reflection and checks that Add propagates each one.
+// It fails when a newly added counter is forgotten in Add.
+func TestAddCoversAllFields(t *testing.T) {
+	other := &Sim{}
+	ov := reflect.ValueOf(other).Elem()
+	st := ov.Type()
+	for i := 0; i < st.NumField(); i++ {
+		f := ov.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+		case reflect.Slice:
+			if st.Field(i).Type != reflect.TypeOf([]uint64(nil)) {
+				t.Fatalf("field %s: unhandled slice type %v — extend this test and Add",
+					st.Field(i).Name, st.Field(i).Type)
+			}
+			f.Set(reflect.ValueOf([]uint64{uint64(i + 1), uint64(i + 2)}))
+		default:
+			t.Fatalf("field %s: unhandled kind %v — extend this test and Add",
+				st.Field(i).Name, f.Kind())
+		}
+	}
+
+	sum := &Sim{}
+	sum.Add(other)
+	sum.Add(other)
+	sv := reflect.ValueOf(sum).Elem()
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		f := sv.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			if want := 2 * uint64(i+1); f.Uint() != want {
+				t.Errorf("Add does not aggregate %s: got %d, want %d", name, f.Uint(), want)
+			}
+		case reflect.Slice:
+			want := []uint64{2 * uint64(i+1), 2 * uint64(i+2)}
+			if !reflect.DeepEqual(f.Interface(), want) {
+				t.Errorf("Add does not aggregate %s: got %v, want %v", name, f.Interface(), want)
+			}
+		}
+	}
+}
+
+// TestAddGrowsPerProgram checks element-wise aggregation when the
+// destination has fewer (or no) per-program slots than the source.
+func TestAddGrowsPerProgram(t *testing.T) {
+	s := &Sim{PerProgram: []uint64{5}}
+	s.Add(&Sim{PerProgram: []uint64{1, 2, 3}})
+	if want := []uint64{6, 2, 3}; !reflect.DeepEqual(s.PerProgram, want) {
+		t.Errorf("PerProgram = %v, want %v", s.PerProgram, want)
+	}
+}
+
+// TestDerivedFiniteOnZero calls every niladic float64 method on a
+// zero-valued Sim and requires a finite zero result: a derived ratio
+// must never leak NaN or Inf from a zero denominator.
+func TestDerivedFiniteOnZero(t *testing.T) {
+	s := &Sim{}
+	v := reflect.ValueOf(s)
+	mt := v.Type()
+	n := 0
+	for i := 0; i < mt.NumMethod(); i++ {
+		m := mt.Method(i)
+		ft := m.Func.Type()
+		if ft.NumIn() != 1 || ft.NumOut() != 1 || ft.Out(0).Kind() != reflect.Float64 {
+			continue
+		}
+		n++
+		got := v.Method(i).Call(nil)[0].Float()
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s on zero Sim = %v, want finite 0", m.Name, got)
+		}
+		if got != 0 {
+			t.Errorf("%s on zero Sim = %v, want 0", m.Name, got)
+		}
+	}
+	if n < 9 {
+		t.Fatalf("found only %d derived metrics; reflection scan broken?", n)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 
 	"recyclesim/internal/config"
 	"recyclesim/internal/core"
+	"recyclesim/internal/obs"
 	"recyclesim/internal/program"
 	"recyclesim/internal/stats"
 	"recyclesim/internal/sweep"
@@ -70,6 +71,24 @@ type CommitInfo = core.CommitInfo
 
 // Program is an assembled program image.
 type Program = program.Program
+
+// Telemetry aggregates the typed pipeline telemetry of one or more
+// runs: per-cause stall attribution (every cycle x rename-slot charged
+// to exactly one cause) and, when Hists is set before the run, the
+// occupancy/stream-length/fork-lifetime histograms.
+type Telemetry = obs.Metrics
+
+// FlightRecorder is a fixed-size ring of typed pipeline events, dumped
+// automatically when the invariant checker fires.
+type FlightRecorder = obs.Ring
+
+// Snapshot bundles a run's statistics, telemetry, and flight recorder
+// for export; see WriteJSON and WriteText.
+type Snapshot = obs.Snapshot
+
+// NewFlightRecorder builds a recorder keeping the last n events
+// (rounded up to a power of two).
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewRing(n) }
 
 // Feature presets matching the paper's figure legends.
 var (
@@ -168,6 +187,16 @@ type Options struct {
 	// shared between options must be written accordingly (or, better,
 	// each option should get its own hook and sink).
 	CommitHook func(CommitInfo)
+
+	// Telemetry, when non-nil, receives the run's stall attribution
+	// and (if Telemetry.Hists is set on entry) histograms, accumulated
+	// via Add so one Telemetry can aggregate a batch.  Do not share a
+	// Telemetry between concurrent RunBatch options.
+	Telemetry *Telemetry
+
+	// FlightRecorder, when non-nil, records typed pipeline events
+	// during the run and is included in invariant-failure dumps.
+	FlightRecorder *FlightRecorder
 }
 
 // Run executes one simulation and returns its statistics.
@@ -194,7 +223,15 @@ func Run(o Options) (*Result, error) {
 		return nil, err
 	}
 	c.CommitHook = o.CommitHook
-	return c.Run(o.MaxInsts, o.MaxCycles), nil
+	if o.Telemetry != nil {
+		c.Obs.Hists = o.Telemetry.Hists
+	}
+	c.SetRing(o.FlightRecorder)
+	res := c.Run(o.MaxInsts, o.MaxCycles)
+	if o.Telemetry != nil {
+		o.Telemetry.Add(c.Obs)
+	}
+	return res, nil
 }
 
 // RunBatch executes the given simulations concurrently on a worker

@@ -1,0 +1,58 @@
+package recyclesim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// telemetrySnapshot runs one instrumented simulation and renders both
+// exporter formats.
+func telemetrySnapshot(t *testing.T) (jsonOut, textOut []byte) {
+	t.Helper()
+	tel := &Telemetry{Hists: true}
+	ring := NewFlightRecorder(512)
+	res, err := Run(Options{
+		Machine:        MachineByName("big.2.16"),
+		Features:       PresetByName("REC/RS/RU"),
+		Workloads:      []string{"compress"},
+		MaxInsts:       20_000,
+		Telemetry:      tel,
+		FlightRecorder: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Name: "compress/REC/RS/RU", Stats: res, Metrics: tel, Ring: ring}
+	var jb, tb bytes.Buffer
+	if err := snap.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), tb.Bytes()
+}
+
+// TestTelemetryExportDeterminism is the determinism witness for the
+// whole telemetry path: two identical instrumented runs — ring and
+// histograms on — must export byte-identical JSON and text documents.
+func TestTelemetryExportDeterminism(t *testing.T) {
+	j1, t1 := telemetrySnapshot(t)
+	j2, t2 := telemetrySnapshot(t)
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON exports differ between identical runs")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("text exports differ between identical runs")
+	}
+	for _, want := range []string{"slot_cycles", "flight_recorder", "al_occupancy", `"ipc"`} {
+		if !bytes.Contains(j1, []byte(want)) {
+			t.Errorf("JSON export missing %q section", want)
+		}
+	}
+	for _, want := range []string{"sim_slot_cycles_total", "sim_al_occupancy_bucket", "sim_committed"} {
+		if !bytes.Contains(t1, []byte(want)) {
+			t.Errorf("text export missing %q", want)
+		}
+	}
+}
