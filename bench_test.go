@@ -153,6 +153,46 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPipetraceOverhead measures what per-instruction tracing
+// costs the cycle loop: the same REC/RS/RU run untraced, traced at
+// 1-in-64 sampling, and traced in full.  The untraced variant gates the
+// nil-guard overhead of the hooks; the traced variants gate the
+// recorder itself.
+func BenchmarkPipetraceOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		sample uint64
+		traced bool
+	}{
+		{"off", 0, false},
+		{"sampled64", 64, true},
+		{"full", 1, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			insts := uint64(0)
+			for i := 0; i < b.N; i++ {
+				var tracer *PipeTracer
+				if mode.traced {
+					tracer = NewPipeTracer(PipeTraceConfig{SampleEvery: mode.sample})
+				}
+				res, err := Run(Options{
+					Machine:   MachineByName("big.2.16"),
+					Features:  PresetByName("REC/RS/RU"),
+					Workloads: []string{"gcc"},
+					MaxInsts:  benchInsts,
+					PipeTrace: tracer,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts += res.Committed
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "simInsts/s")
+		})
+	}
+}
+
 // BenchmarkAblationTrustTrace compares §3.4's two recycling methods:
 // the default ("latter") stops the stream at the first branch whose
 // current prediction disagrees with the trace; TrustTrace ("former")

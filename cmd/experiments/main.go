@@ -31,10 +31,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"time"
 
 	"recyclesim/internal/config"
 	"recyclesim/internal/core"
 	"recyclesim/internal/obs"
+	"recyclesim/internal/obs/server"
 	"recyclesim/internal/stats"
 	"recyclesim/internal/sweep"
 	"recyclesim/internal/workload"
@@ -53,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	insts := fs.Uint64("insts", 300_000, "committed-instruction budget per run")
 	workers := fs.Int("workers", 0, "simulations to run concurrently (0 = GOMAXPROCS)")
 	metrics := fs.String("metrics", "", "write an aggregate JSON telemetry snapshot over all cells to this file (\"-\" for stdout)")
+	progress := fs.Bool("progress", false, "print a single-line in-place progress meter to stderr")
+	obsListen := fs.String("obs-listen", "", "serve /metrics, /progress, /healthz and pprof on this address during the sweep (e.g. \":0\")")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -112,8 +117,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			s.print(io.Discard, r)
 		}
 	}
+
+	// Live observation (all writes go to stderr or the HTTP listener,
+	// so stdout stays byte-identical with or without it).
+	if *progress || *obsListen != "" {
+		r.prog = &sweep.Progress{}
+	}
+	if *obsListen != "" {
+		srv := server.New(r.prog)
+		if err := srv.Start(*obsListen); err != nil {
+			fmt.Fprintf(stderr, "experiments: -obs-listen: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "experiments: observability server on http://%s\n", srv.Addr())
+		agg := &aggregator{}
+		r.publish = func(s *stats.Sim, m *obs.Metrics) { srv.Publish(agg.add(s, m)) }
+	}
+
 	// Pass 2: compute every cell once, in parallel across the pool.
-	r.computeAll(*workers)
+	if *progress {
+		runWithMeter(stderr, r, *workers)
+	} else {
+		r.computeAll(*workers)
+	}
+
 	// Pass 3: re-run the print functions for real, replaying memoized
 	// results, so the output is exactly what the serial harness printed.
 	for _, s := range sections {
@@ -173,6 +201,14 @@ type runner struct {
 	jobs        []simJob
 	results     []*stats.Sim
 	metrics     []*obs.Metrics
+
+	// prog, when non-nil, receives per-cell progress from the workers
+	// (feeding both the -progress meter and the /progress endpoint).
+	prog *sweep.Progress
+	// publish, when non-nil, is called by each worker with its finished
+	// cell (feeding the /metrics endpoint).  Must be safe for
+	// concurrent use.
+	publish func(*stats.Sim, *obs.Metrics)
 }
 
 func newRunner() *runner {
@@ -198,11 +234,100 @@ func (r *runner) sim(mach config.Machine, feat config.Features, names []string, 
 func (r *runner) computeAll(workers int) {
 	r.results = make([]*stats.Sim, len(r.jobs))
 	r.metrics = make([]*obs.Metrics, len(r.jobs))
+	if r.prog != nil {
+		r.prog.SetTotal(len(r.jobs))
+	}
 	sweep.Run(len(r.jobs), workers, func(i int) {
 		j := r.jobs[i]
+		if r.prog != nil {
+			r.prog.StartCell(j.mach.Name + "/" + config.FeatureName(j.feat) + "/" + strings.Join(j.names, "+"))
+		}
 		r.results[i], r.metrics[i] = runSim(j.mach, j.feat, j.names, j.insts, r.withMetrics)
+		if r.prog != nil {
+			r.prog.FinishCell(r.results[i].Committed)
+		}
+		if r.publish != nil {
+			r.publish(r.results[i], r.metrics[i])
+		}
 	})
 	r.collect = false
+}
+
+// aggregator accumulates finished cells under a lock and builds the
+// immutable running-total snapshots the observability server publishes.
+type aggregator struct {
+	mu  sync.Mutex
+	agg stats.Sim
+	tel obs.Metrics
+	n   int
+}
+
+func (a *aggregator) add(s *stats.Sim, m *obs.Metrics) *obs.Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.agg.Add(s)
+	a.tel.Add(m)
+	a.n++
+	st := a.agg
+	st.PerProgram = append([]uint64(nil), a.agg.PerProgram...)
+	tel := a.tel
+	return &obs.Snapshot{
+		Name:    fmt.Sprintf("experiments running aggregate (%d cells)", a.n),
+		Stats:   &st,
+		Metrics: &tel,
+	}
+}
+
+// runWithMeter wraps computeAll with a stderr progress meter redrawn in
+// place a few times a second and finished with a newline.
+func runWithMeter(stderr io.Writer, r *runner, workers int) {
+	start := time.Now()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				done, total, _, cur := r.prog.Snapshot()
+				fmt.Fprintf(stderr, "\r%-100s", formatProgress(done, total, cur, time.Since(start)))
+			}
+		}
+	}()
+	r.computeAll(workers)
+	close(stop)
+	wg.Wait()
+	done, total, _, _ := r.prog.Snapshot()
+	fmt.Fprintf(stderr, "\r%-100s\n", formatProgress(done, total, "", time.Since(start)))
+}
+
+// formatProgress renders one progress-meter line: cells done/total with
+// percentage, elapsed wall time, and an ETA extrapolated from the mean
+// cell rate so far ("?" until the first cell lands).
+func formatProgress(done, total int64, current string, elapsed time.Duration) string {
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	eta := "?"
+	switch {
+	case total > 0 && done >= total:
+		eta = "0s"
+	case done > 0:
+		rem := time.Duration(float64(elapsed) * float64(total-done) / float64(done))
+		eta = rem.Round(time.Second).String()
+	}
+	s := fmt.Sprintf("cells %d/%d (%.0f%%)  elapsed %s  eta %s",
+		done, total, pct, elapsed.Round(time.Second), eta)
+	if current != "" {
+		s += "  " + current
+	}
+	return s
 }
 
 func runSim(mach config.Machine, feat config.Features, names []string, insts uint64, hists bool) (*stats.Sim, *obs.Metrics) {

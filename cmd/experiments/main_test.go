@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestRunArgs is the table-driven contract for the harness front-end:
@@ -72,5 +73,53 @@ func TestRunArgs(t *testing.T) {
 				t.Errorf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
 			}
 		})
+	}
+}
+
+// TestFormatProgress is the table-driven contract for the meter line:
+// percentage math, the "?" ETA before any cell lands, the zero ETA at
+// completion, and the current-cell suffix.
+func TestFormatProgress(t *testing.T) {
+	cases := []struct {
+		done, total int64
+		current     string
+		elapsed     time.Duration
+		want        string
+	}{
+		{0, 0, "", 0, "cells 0/0 (0%)  elapsed 0s  eta ?"},
+		{0, 8, "", 2 * time.Second, "cells 0/8 (0%)  elapsed 2s  eta ?"},
+		{2, 8, "", 10 * time.Second, "cells 2/8 (25%)  elapsed 10s  eta 30s"},
+		{2, 8, "big.2.16/REC/gcc", 10 * time.Second,
+			"cells 2/8 (25%)  elapsed 10s  eta 30s  big.2.16/REC/gcc"},
+		{8, 8, "", time.Minute, "cells 8/8 (100%)  elapsed 1m0s  eta 0s"},
+	}
+	for _, tc := range cases {
+		if got := formatProgress(tc.done, tc.total, tc.current, tc.elapsed); got != tc.want {
+			t.Errorf("formatProgress(%d, %d, %q, %v) = %q, want %q",
+				tc.done, tc.total, tc.current, tc.elapsed, got, tc.want)
+		}
+	}
+}
+
+// TestObservabilityDoesNotPerturbOutput runs the same tiny regeneration
+// with and without the observability server and progress meter: stdout
+// must be byte-identical, because the server and meter write only to
+// their listener and stderr.
+func TestObservabilityDoesNotPerturbOutput(t *testing.T) {
+	var plainOut, plainErr strings.Builder
+	if got := run([]string{"-fig", "3", "-insts", "300"}, &plainOut, &plainErr); got != 0 {
+		t.Fatalf("plain run exited %d\n%s", got, plainErr.String())
+	}
+	var obsOut, obsErr strings.Builder
+	args := []string{"-fig", "3", "-insts", "300", "-obs-listen", "127.0.0.1:0", "-progress"}
+	if got := run(args, &obsOut, &obsErr); got != 0 {
+		t.Fatalf("observed run exited %d\n%s", got, obsErr.String())
+	}
+	if plainOut.String() != obsOut.String() {
+		t.Errorf("stdout differs with observability enabled:\nplain:\n%s\nobserved:\n%s",
+			plainOut.String(), obsOut.String())
+	}
+	if !strings.Contains(obsErr.String(), "observability server on http://") {
+		t.Errorf("stderr missing server announcement:\n%s", obsErr.String())
 	}
 }

@@ -17,10 +17,35 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"recyclesim"
+	"recyclesim/internal/obs/server"
+	"recyclesim/internal/sweep"
 )
+
+// parseRange parses a "lo:hi" bound pair ("" means unbounded, values
+// accept 0x-prefixed hex).
+func parseRange(s string) (lo, hi uint64, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("%q is not of the form lo:hi", s)
+	}
+	if lo, err = strconv.ParseUint(a, 0, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad lower bound %q: %v", a, err)
+	}
+	if hi, err = strconv.ParseUint(b, 0, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad upper bound %q: %v", b, err)
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("range %q is empty (hi < lo)", s)
+	}
+	return lo, hi, nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -39,6 +64,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsJSON := fs.String("metrics", "", "write a JSON telemetry snapshot to this file (\"-\" for stdout)")
 	metricsText := fs.String("metrics-text", "", "write a Prometheus-style text snapshot to this file (\"-\" for stdout)")
 	flightrec := fs.Int("flightrec", 0, "record the last N pipeline events and include them in snapshots")
+	pipetraceOut := fs.String("pipetrace", "", "write a Chrome trace_event JSON pipetrace to this file (\"-\" for stdout; open in Perfetto)")
+	pipetraceKonata := fs.String("pipetrace-konata", "", "write a Konata-style text pipetrace to this file (\"-\" for stdout)")
+	pipetraceSample := fs.Uint64("pipetrace-sample", 1, "trace 1 in N renamed instructions")
+	pipetracePC := fs.String("pipetrace-pc", "", "restrict tracing to PC range \"lo:hi\" (0x-prefixed hex ok)")
+	pipetraceCycles := fs.String("pipetrace-cycles", "", "restrict tracing to instructions renamed in cycle window \"lo:hi\"")
+	pipetraceMax := fs.Int("pipetrace-max", 1<<20, "hard cap on traced instructions (excess counted, not recorded)")
+	obsListen := fs.String("obs-listen", "", "serve /metrics, /progress, /healthz and pprof on this address during the run (e.g. \":0\")")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +150,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ring = recyclesim.NewFlightRecorder(*flightrec)
 	}
 
+	var tracer *recyclesim.PipeTracer
+	if *pipetraceOut != "" || *pipetraceKonata != "" {
+		cfg := recyclesim.PipeTraceConfig{
+			SampleEvery: *pipetraceSample,
+			MaxRecords:  *pipetraceMax,
+		}
+		var err error
+		if cfg.PCMin, cfg.PCMax, err = parseRange(*pipetracePC); err != nil {
+			fmt.Fprintf(stderr, "recyclesim: bad -pipetrace-pc: %v\n", err)
+			return 2
+		}
+		if cfg.CycleMin, cfg.CycleMax, err = parseRange(*pipetraceCycles); err != nil {
+			fmt.Fprintf(stderr, "recyclesim: bad -pipetrace-cycles: %v\n", err)
+			return 2
+		}
+		tracer = recyclesim.NewPipeTracer(cfg)
+	}
+
+	snapName := strings.Join(names, "+") + "/" + recyclesim.FeatureName(feat)
+	var snapshotHook func(*recyclesim.Snapshot)
+	var prog *sweep.Progress
+	if *obsListen != "" {
+		prog = &sweep.Progress{}
+		prog.SetTotal(1)
+		prog.StartCell(snapName)
+		srv := server.New(prog)
+		if err := srv.Start(*obsListen); err != nil {
+			fmt.Fprintf(stderr, "recyclesim: -obs-listen: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "recyclesim: observability server on http://%s\n", srv.Addr())
+		snapshotHook = func(sn *recyclesim.Snapshot) {
+			sn.Name = snapName
+			prog.SetInsts(sn.Stats.Committed)
+			srv.Publish(sn)
+		}
+	}
+
 	res, err := recyclesim.Run(recyclesim.Options{
 		Machine:        mach,
 		Features:       feat,
@@ -125,35 +196,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxInsts:       *insts,
 		Telemetry:      tel,
 		FlightRecorder: ring,
+		PipeTrace:      tracer,
+		SnapshotHook:   snapshotHook,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	if prog != nil {
+		prog.FinishCell(0)
+	}
+
+	write := func(path string, f func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		if path == "-" {
+			return f(stdout)
+		}
+		out, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := f(out); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	}
 
 	if wantMetrics {
 		snap := &recyclesim.Snapshot{
-			Name:    strings.Join(names, "+") + "/" + recyclesim.FeatureName(feat),
+			Name:    snapName,
 			Stats:   res,
 			Metrics: tel,
 			Ring:    ring,
-		}
-		write := func(path string, f func(io.Writer) error) error {
-			if path == "" {
-				return nil
-			}
-			if path == "-" {
-				return f(stdout)
-			}
-			out, err := os.Create(path)
-			if err != nil {
-				return err
-			}
-			if err := f(out); err != nil {
-				out.Close()
-				return err
-			}
-			return out.Close()
 		}
 		if err := write(*metricsJSON, snap.WriteJSON); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -162,6 +239,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := write(*metricsText, snap.WriteText); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
+		}
+	}
+
+	if tracer != nil {
+		chrome := func(w io.Writer) error { return tracer.WriteChrome(w, res.Cycles) }
+		konata := func(w io.Writer) error { return tracer.WriteKonata(w, res.Cycles) }
+		if err := write(*pipetraceOut, chrome); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := write(*pipetraceKonata, konata); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if dropped := tracer.TruncatedRecords(); dropped > 0 {
+			fmt.Fprintf(stderr, "recyclesim: pipetrace truncated: %d instruction(s) past -pipetrace-max %d\n",
+				dropped, *pipetraceMax)
 		}
 	}
 
@@ -179,8 +273,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *metricsJSON == "-" || *metricsText == "-" {
-		return 0 // snapshot owns stdout; keep it machine-readable
+	if *metricsJSON == "-" || *metricsText == "-" || *pipetraceOut == "-" || *pipetraceKonata == "-" {
+		return 0 // snapshot/trace owns stdout; keep it machine-readable
 	}
 	fmt.Fprintf(stdout, "machine    %s\n", *machine)
 	fmt.Fprintf(stdout, "features   %s (alt %s-%d)\n", recyclesim.FeatureName(feat), feat.AltPolicy, feat.AltLimit)

@@ -63,6 +63,12 @@ type Entry struct {
 	// (-1 when the entry is not reused).
 	ReuseSrc int
 
+	// Trace is the pipetrace handle assigned at rename (0 when the
+	// entry is untraced; see internal/obs/pipetrace).  Push's slot
+	// reset clears it, so recycled ring slots never inherit a stale
+	// handle.
+	Trace int32
+
 	// Timing.
 	ReadyAt uint64 // cycle the result becomes available (once Executed)
 }

@@ -95,6 +95,9 @@ func (c *Core) commitOne(t *Context) bool {
 		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageCommit,
 			Ctx: int16(t.id), Seq: e.Seq, PC: e.PC, Arg: e.Result})
 	}
+	if c.ptrace != nil {
+		c.ptrace.OnCommit(e.Trace, c.cycle)
+	}
 	if lp.idx < len(c.Stats.PerProgram) {
 		c.Stats.PerProgram[lp.idx]++
 	}

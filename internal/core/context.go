@@ -51,13 +51,14 @@ func (s CtxState) String() string {
 
 // fqEntry is one fetched, decoded instruction waiting for rename.
 type fqEntry struct {
-	pc        uint64
-	inst      isa.Inst
-	pred      bpred.Pred
-	predTaken bool
-	predTgt   uint64
-	readyAt   uint64 // cycle it clears decode and may rename
-	postMerge bool   // fetched beyond an in-progress recycle stream
+	pc         uint64
+	inst       isa.Inst
+	pred       bpred.Pred
+	predTaken  bool
+	predTgt    uint64
+	fetchCycle uint64 // cycle it entered the fetch queue (for pipetrace)
+	readyAt    uint64 // cycle it clears decode and may rename
+	postMerge  bool   // fetched beyond an in-progress recycle stream
 }
 
 // sqEntry is one in-flight store in a context's store queue.  Stores

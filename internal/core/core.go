@@ -22,6 +22,7 @@ import (
 	"recyclesim/internal/iq"
 	"recyclesim/internal/isa"
 	"recyclesim/internal/obs"
+	"recyclesim/internal/obs/pipetrace"
 	"recyclesim/internal/program"
 	"recyclesim/internal/recycle"
 	"recyclesim/internal/regfile"
@@ -112,6 +113,14 @@ type Core struct {
 	// allocation-free in steady state, and the traceguard analyzer
 	// enforces the guard.
 	ring *obs.Ring
+
+	// ptrace, when non-nil, records per-instruction stage timelines
+	// (the pipetrace recorder).  Same hot-path contract as ring: every
+	// call site must be guarded with `if c.ptrace != nil` (traceguard
+	// enforces it, for both the Core.pipeTrace helper and direct
+	// pipetrace.Recorder method calls), and the recorder itself never
+	// allocates while recording.
+	ptrace *pipetrace.Recorder
 
 	// Per-cycle rename slot attribution, reset by attributeSlots:
 	// rename counts the slots that accepted fetched and recycled
@@ -303,6 +312,9 @@ func (c *Core) undoEntry(t *Context, e *alist.Entry) {
 		if c.ctxs[e.ReuseSrc].outstandingReuse > 0 {
 			c.ctxs[e.ReuseSrc].outstandingReuse--
 		}
+	}
+	if c.ptrace != nil {
+		c.ptrace.OnSquash(e.Trace, c.cycle)
 	}
 	c.Stats.Squashed++
 }

@@ -79,7 +79,7 @@ func (c *Core) fetch() {
 			}
 			in := t.part.prog.prog.FetchInst(pc)
 			if in.IsHalt() {
-				t.pushFetch(pc, in, readyAt)
+				t.pushFetch(c.cycle, pc, in, readyAt)
 				t.fetchHalted = true
 				n++
 				width--
@@ -99,7 +99,7 @@ func (c *Core) fetch() {
 					c.Stats.BTBMisses++
 				}
 				c.pred.SpecUpdate(t.id, in, pc, pr)
-				fe := t.pushFetch(pc, in, readyAt)
+				fe := t.pushFetch(c.cycle, pc, in, readyAt)
 				fe.pred = pr
 				fe.predTaken = pr.Taken
 				fe.predTgt = pr.Target
@@ -112,7 +112,7 @@ func (c *Core) fetch() {
 				pc += isa.InstBytes
 				continue
 			}
-			t.pushFetch(pc, in, readyAt)
+			t.pushFetch(c.cycle, pc, in, readyAt)
 			n++
 			width--
 			pc += isa.InstBytes
@@ -137,14 +137,15 @@ func (c *Core) fetch() {
 }
 
 // pushFetch appends one decoded instruction to the context's fetch
-// queue.
-func (t *Context) pushFetch(pc uint64, in isa.Inst, readyAt uint64) *fqEntry {
+// queue; cycle stamps when it entered (the pipetrace fetch stage).
+func (t *Context) pushFetch(cycle, pc uint64, in isa.Inst, readyAt uint64) *fqEntry {
 	fe := t.fqPush()
 	*fe = fqEntry{
-		pc:        pc,
-		inst:      in,
-		readyAt:   readyAt,
-		postMerge: t.stream != nil,
+		pc:         pc,
+		inst:       in,
+		fetchCycle: cycle,
+		readyAt:    readyAt,
+		postMerge:  t.stream != nil,
 	}
 	return fe
 }
@@ -300,6 +301,9 @@ func (c *Core) startStream(t, src *Context, seq uint64, back bool) bool {
 		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageMerge,
 			Ctx: int16(t.id), Seq: seq, PC: items[0].pc,
 			Arg: uint64(len(t.stream.items))<<16 | uint64(uint16(src.id))})
+	}
+	if c.ptrace != nil {
+		c.pipeTrace(obs.StageMerge, t.id, items[0].pc, uint64(src.id))
 	}
 	// "Fetching immediately continues from where recycling will
 	// complete."

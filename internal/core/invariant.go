@@ -48,7 +48,12 @@ var defaultInvariantEvery uint64 = 0
 //   - written-bit coherence: a clear bit promises an unchanged mapping
 //     (checked where the trace itself did not write the register);
 //   - telemetry conservation: the rename slot-cycle attribution sums to
-//     cycles × rename width with nothing charged to the null cause.
+//     cycles × rename width with nothing charged to the null cause;
+//   - pipetrace stage-sequence legality (when a pipetrace recorder is
+//     attached): every recorded timeline is a legal path through the
+//     pipeline DAG — recycled ⇒ no fetch stage, reused ⇒ no
+//     queue/issue/writeback, squashed ⇔ not committed, stages in
+//     program order (see checkPipeTrace).
 func (c *Core) CheckInvariants() *invariant.Report {
 	r := invariant.NewReport(c.cycle)
 	c.checkRegfile(r)
@@ -57,6 +62,7 @@ func (c *Core) CheckInvariants() *invariant.Report {
 	c.checkReuse(r)
 	c.checkWrittenBits(r)
 	c.checkTelemetry(r)
+	c.checkPipeTrace(r)
 	return r
 }
 

@@ -137,6 +137,9 @@ func (c *Core) execute(t *Context, e *alist.Entry) {
 		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageIssue,
 			Ctx: int16(e.Ctx), Seq: e.Seq, PC: e.PC, Arg: uint64(in.Op)})
 	}
+	if c.ptrace != nil {
+		c.ptrace.OnIssue(e.Trace, c.cycle)
+	}
 
 	switch {
 	case in.IsLoad():
@@ -287,6 +290,9 @@ func (c *Core) completeEntry(t *Context, e *alist.Entry) {
 	if c.ring != nil {
 		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageComplete,
 			Ctx: int16(e.Ctx), Seq: e.Seq, PC: e.PC, Arg: e.Result})
+	}
+	if c.ptrace != nil {
+		c.ptrace.OnWriteback(e.Trace, c.cycle)
 	}
 	if in.WritesReg() && e.NewMap != regfile.NoReg {
 		c.rf.SetValue(e.NewMap, e.Result)

@@ -245,6 +245,9 @@ func (c *Core) dispatch(t *Context, e *alist.Entry) {
 		panic("core: instruction queue overflow after reservation")
 	}
 	e.Dispatched = true
+	if c.ptrace != nil {
+		c.ptrace.OnQueue(e.Trace, c.cycle)
+	}
 	if in.IsStore() {
 		t.sq.push(e.Seq)
 	}
@@ -259,6 +262,9 @@ func (c *Core) renameFetched(t *Context, fe *fqEntry) bool {
 	e.Pred = fe.pred
 	e.PredTaken = fe.predTaken
 	e.PredTarget = fe.predTgt
+	if c.ptrace != nil {
+		e.Trace = c.ptrace.OnRename(c.cycle, t.id, e.Seq, e.PC, e.Inst, fe.fetchCycle, false)
+	}
 	if t.state == CtxDraining && c.feat.AltPolicy == config.AltFetch {
 		// fetch-N policy: instructions fetched after resolution never
 		// issue.
@@ -308,6 +314,9 @@ func (c *Core) renameRecycled(t *Context, it *streamItem) (proceed, stall bool) 
 	e.Pred = it.pred
 	e.PredTaken = it.pred.Taken
 	e.PredTarget = it.pred.Target
+	if c.ptrace != nil {
+		e.Trace = c.ptrace.OnRename(c.cycle, t.id, e.Seq, e.PC, e.Inst, 0, true)
+	}
 	c.Stats.Recycled++
 	if t.state == CtxDraining && c.feat.AltPolicy == config.AltFetch {
 		e.NoIssue = true
@@ -321,6 +330,9 @@ func (c *Core) renameRecycled(t *Context, it *streamItem) (proceed, stall bool) 
 		reused = c.tryReuse(t, e, st.srcCtx, it)
 	}
 	if reused {
+		if c.ptrace != nil {
+			c.ptrace.OnReuse(e.Trace, c.cycle)
+		}
 		c.markWritten(t, e, st.srcCtx)
 	} else {
 		c.markWritten(t, e, -1)

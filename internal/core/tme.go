@@ -40,6 +40,9 @@ func (c *Core) tryFork(t *Context, e *alist.Entry) {
 		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageFork,
 			Ctx: int16(t.id), Seq: e.Seq, PC: e.PC, Arg: uint64(a.id)})
 	}
+	if c.ptrace != nil {
+		c.pipeTrace(obs.StageFork, t.id, e.PC, uint64(a.id))
+	}
 	c.Stats.Forks++
 }
 
@@ -177,6 +180,9 @@ func (c *Core) respawn(t *Context, e *alist.Entry, a *Context, altPC uint64) {
 	if c.ring != nil {
 		c.ring.Record(obs.Event{Cycle: c.cycle, Stage: obs.StageRespawn,
 			Ctx: int16(t.id), Seq: e.Seq, PC: e.PC, Arg: uint64(a.id)})
+	}
+	if c.ptrace != nil {
+		c.pipeTrace(obs.StageRespawn, t.id, e.PC, uint64(a.id))
 	}
 	c.Stats.Forks++
 	c.Stats.Respawns++

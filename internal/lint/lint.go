@@ -183,6 +183,7 @@ var SimPackages = []string{
 	"internal/iq",
 	"internal/isa",
 	"internal/obs",
+	"internal/obs/pipetrace",
 	"internal/program",
 	"internal/recycle",
 	"internal/regfile",
@@ -249,6 +250,8 @@ func Default(modPath string) []Analyzer {
 		NewTraceGuard(scope, []GuardRule{
 			{RecvType: modPath + "/internal/core.Core", Method: "trace", GuardField: "debugTrace"},
 			{RecvType: modPath + "/internal/obs.Ring", Method: "Record"},
+			{RecvType: modPath + "/internal/core.Core", Method: "pipeTrace", GuardField: "ptrace"},
+			{RecvType: modPath + "/internal/obs/pipetrace.Recorder", Method: "*"},
 		}),
 	}
 }

@@ -1,18 +1,31 @@
 package core
 
-import "fixture/internal/obs"
+import (
+	"fixture/internal/obs"
+	"fixture/internal/obs/pipetrace"
+)
 
 // Core carries the optional telemetry hooks the traceguard analyzer
-// watches: a legacy string-trace closure and a flight-recorder ring.
-// Both are nil when telemetry is off, so every call must sit inside the
-// matching nil check.
+// watches: a legacy string-trace closure, a flight-recorder ring, and a
+// per-instruction pipeline tracer.  All are nil when telemetry is off,
+// so every call must sit inside the matching nil check.
 type Core struct {
 	debugTrace func(string)
 	ring       *obs.Ring
+	ptrace     *pipetrace.Recorder
 	cycle      uint64
 }
 
 func (c *Core) trace(s string) { c.debugTrace(s) }
+
+// pipeTrace is itself guarded internally, but the analyzer still
+// requires the guard at each call site so disabled-path argument
+// materialisation stays visible in review.
+func (c *Core) pipeTrace(pc uint64) {
+	if c.ptrace != nil {
+		_ = c.ptrace.OnRename(c.cycle + pc)
+	}
+}
 
 // GuardedSites holds the negative space: calls correctly dominated by
 // their nil checks, including a guard conjoined with another condition
@@ -34,6 +47,15 @@ func (c *Core) GuardedSites(n int) {
 	if r != nil {
 		r.Record(obs.Event{Cycle: c.cycle})
 	}
+	if c.ptrace != nil {
+		c.pipeTrace(uint64(n))
+	}
+	if c.ptrace != nil {
+		c.ptrace.OnCommit(1, c.cycle)
+	}
+	if c.ptrace != nil && n > 0 {
+		_ = c.ptrace.OnRename(c.cycle)
+	}
 }
 
 // UnguardedSites holds the findings: bare calls, a call guarded by the
@@ -52,5 +74,10 @@ func (c *Core) UnguardedSites(n int) {
 		_ = n
 	} else {
 		c.ring.Record(obs.Event{Cycle: c.cycle}) // want:traceguard
+	}
+	c.pipeTrace(uint64(n))         // want:traceguard
+	_ = c.ptrace.OnRename(c.cycle) // want:traceguard
+	if c.debugTrace != nil {       // wrong guard for the pipe tracer
+		c.ptrace.OnCommit(1, c.cycle) // want:traceguard
 	}
 }

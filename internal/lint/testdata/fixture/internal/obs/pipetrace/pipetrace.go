@@ -1,0 +1,32 @@
+// Package pipetrace is a minimal stand-in for the real per-instruction
+// tracer so the traceguard fixture can exercise the wildcard
+// Recorder.* rule.  A nil *Recorder means tracing is off, so every
+// Recorder method call outside this package must sit inside the
+// matching nil check; calls between the recorder's own methods are
+// implementation, not hook sites, and are exempt.
+package pipetrace
+
+// Recorder collects per-instruction stage timestamps.
+type Recorder struct {
+	renames uint64
+	commits uint64
+}
+
+// New builds an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// OnRename marks one rename.  The sibling call below is the negative
+// case for the wildcard rule's same-package exemption.
+func (r *Recorder) OnRename(cycle uint64) int32 {
+	r.bump()
+	return int32(r.renames + cycle - cycle)
+}
+
+// OnCommit marks one commit.
+func (r *Recorder) OnCommit(h int32, cycle uint64) {
+	if h > 0 && cycle > 0 {
+		r.commits++
+	}
+}
+
+func (r *Recorder) bump() { r.renames++ }

@@ -4,14 +4,21 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // GuardRule names one telemetry entry point that must be nil-guarded at
 // every call site.  RecvType is the fully qualified receiver type
-// ("pkgpath.Type"), Method the method name.  GuardField names the field
-// on the receiver whose nil check enables the call ("debugTrace" for
-// c.trace); the empty string means the receiver expression itself is
-// the guard (c.ring for c.ring.Record).
+// ("pkgpath.Type"), Method the method name — or "*" to cover every
+// method of the type (used for the pipetrace recorder, whose whole
+// surface is hot-path hooks).  GuardField names the field on the
+// receiver whose nil check enables the call ("debugTrace" for c.trace);
+// the empty string means the receiver expression itself is the guard
+// (c.ring for c.ring.Record).
+//
+// Wildcard rules exempt call sites inside the receiver type's own
+// package: the recorder's methods calling each other are its
+// implementation, not hot-path hook sites.
 type GuardRule struct {
 	RecvType   string
 	Method     string
@@ -86,7 +93,16 @@ func (tg *TraceGuard) checkCall(prog *Program, pkg *Package, call *ast.CallExpr,
 	}
 	recv := recvTypeName(fn)
 	for _, r := range tg.Rules {
-		if recv != r.RecvType || fn.Name() != r.Method {
+		if recv != r.RecvType {
+			continue
+		}
+		if r.Method == "*" {
+			// Wildcard rules guard the type's whole surface but exempt
+			// its defining package (implementation, not hook sites).
+			if i := strings.LastIndex(r.RecvType, "."); i >= 0 && pkg.Path == r.RecvType[:i] {
+				continue
+			}
+		} else if fn.Name() != r.Method {
 			continue
 		}
 		guard := exprPath(sel.X)
@@ -100,7 +116,7 @@ func (tg *TraceGuard) checkCall(prog *Program, pkg *Package, call *ast.CallExpr,
 			Pos:  prog.Position(call.Lparen),
 			Rule: tg.Name(),
 			Msg: sprintf("call to %s.%s not dominated by an enclosing \"if %s != nil\" guard",
-				r.RecvType, r.Method, guard),
+				r.RecvType, fn.Name(), guard),
 		}
 	}
 	return nil

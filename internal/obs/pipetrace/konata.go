@@ -1,0 +1,141 @@
+package pipetrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Konata stage mnemonics.  A record's visible pipeline path is the
+// subsequence of these stages it actually entered: recycled
+// instructions have no F segment, reused ones go Rn→Ru with no
+// Qu/Ex/Wb, and everything else walks F→Rn→Qu→Ex→Wb.
+const (
+	konStageFetch     = "F"
+	konStageRename    = "Rn"
+	konStageReuse     = "Ru"
+	konStageQueue     = "Qu"
+	konStageExecute   = "Ex"
+	konStageWriteback = "Wb"
+)
+
+// konataEvent is one output line scheduled at a cycle.  ord breaks ties
+// within a (cycle, record) pair so stage ends precede stage starts and
+// retirement comes last.
+type konataEvent struct {
+	cycle uint64
+	id    uint64
+	ord   int
+	line  string
+}
+
+const (
+	konOrdInsn   = 0 // I + L lines
+	konOrdEnd    = 1 // E (stage end)
+	konOrdStart  = 2 // S (stage start)
+	konOrdRetire = 3 // R
+)
+
+// WriteKonata renders the trace in Konata's text log format (the
+// "Kanata" format emitted by Onikiri2 and understood by the Konata
+// pipeline viewer).  Each traced instruction opens with I/L lines at
+// the cycle its first stage begins, walks its stage segments with S/E
+// lines, and closes with an R line (flush flag 1 when squashed).
+// finalCycle closes segments of instructions still in flight at the end
+// of the run; those get no R line.  Output is deterministic.
+func (r *Recorder) WriteKonata(w io.Writer, finalCycle uint64) error {
+	evs := make([]konataEvent, 0, len(r.recs)*8)
+	for i := range r.recs {
+		evs = appendKonataRecord(evs, &r.recs[i], finalCycle)
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.cycle != b.cycle {
+			return a.cycle < b.cycle
+		}
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		return a.ord < b.ord
+	})
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Kanata\t0004\n")
+	var cur uint64
+	started := false
+	for _, ev := range evs {
+		if !started {
+			fmt.Fprintf(bw, "C=\t%d\n", ev.cycle)
+			cur, started = ev.cycle, true
+		} else if ev.cycle != cur {
+			fmt.Fprintf(bw, "C\t%d\n", ev.cycle-cur)
+			cur = ev.cycle
+		}
+		bw.WriteString(ev.line)
+	}
+	return bw.Flush()
+}
+
+// konataSegment is one contiguous stage occupancy [from, to).
+type konataSegment struct {
+	name string
+	from uint64
+}
+
+// appendKonataRecord expands one record into its I/L/S/E/R lines.
+func appendKonataRecord(evs []konataEvent, rec *Record, finalCycle uint64) []konataEvent {
+	end := finalCycle
+	closed := false
+	flush := 0
+	switch {
+	case rec.Retire != 0:
+		end, closed = rec.Retire, true
+	case rec.Squash != 0:
+		end, closed, flush = rec.Squash, true, 1
+	}
+
+	segs := make([]konataSegment, 0, 6)
+	if rec.Fetch != 0 {
+		segs = append(segs, konataSegment{konStageFetch, rec.Fetch})
+	}
+	segs = append(segs, konataSegment{konStageRename, rec.Rename})
+	if rec.Reused {
+		segs = append(segs, konataSegment{konStageReuse, rec.Rename})
+	}
+	if rec.Queue != 0 {
+		segs = append(segs, konataSegment{konStageQueue, rec.Queue})
+	}
+	if rec.Issue != 0 {
+		segs = append(segs, konataSegment{konStageExecute, rec.Issue})
+	}
+	if rec.Writeback != 0 {
+		segs = append(segs, konataSegment{konStageWriteback, rec.Writeback})
+	}
+
+	start := segs[0].from
+	if end < start {
+		end = start
+	}
+	id := rec.ID
+	evs = append(evs,
+		konataEvent{start, id, konOrdInsn, fmt.Sprintf("I\t%d\t%d\t%d\n", id, rec.Seq, rec.Ctx)},
+		konataEvent{start, id, konOrdInsn, fmt.Sprintf("L\t%d\t0\t%#x: %s\n", id, rec.PC, rec.Inst.String())})
+	for i, seg := range segs {
+		to := end
+		if i+1 < len(segs) {
+			to = segs[i+1].from
+		}
+		if to < seg.from {
+			to = seg.from
+		}
+		evs = append(evs,
+			konataEvent{seg.from, id, konOrdStart, fmt.Sprintf("S\t%d\t0\t%s\n", id, seg.name)},
+			konataEvent{to, id, konOrdEnd, fmt.Sprintf("E\t%d\t0\t%s\n", id, seg.name)})
+	}
+	if closed {
+		evs = append(evs, konataEvent{end, id, konOrdRetire,
+			fmt.Sprintf("R\t%d\t%d\t%d\n", id, id, flush)})
+	}
+	return evs
+}

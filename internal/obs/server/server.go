@@ -1,0 +1,154 @@
+// Package server is the opt-in HTTP observability server: it lets a
+// long-running simulation or sweep be inspected live without touching
+// its output.  Endpoints:
+//
+//	/metrics   the Prometheus text exposition of the most recently
+//	           published snapshot (internal/obs.Snapshot.WriteText)
+//	/progress  JSON sweep progress: cells done/total, current cell,
+//	           simulated instructions and their wall-clock rate
+//	/healthz   liveness probe ("ok")
+//	/debug/pprof/...  the standard net/http/pprof handlers
+//
+// Publishers hand the server immutable snapshot copies via Publish
+// (atomically swapped, so /metrics never sees a half-updated one) and
+// a *sweep.Progress for the counters.  The server writes only to its
+// own listener and (optionally) a startup line on stderr, so a run
+// with the server enabled produces byte-identical stdout/file output
+// to one without.  Close shuts down gracefully.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"recyclesim/internal/obs"
+	"recyclesim/internal/sweep"
+)
+
+// Server serves the observability endpoints for one process.
+type Server struct {
+	prog  *sweep.Progress // may be nil: /progress reports zeros
+	snap  atomic.Pointer[obs.Snapshot]
+	start time.Time
+
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// New builds a server that reads sweep progress from prog (which may be
+// nil when there is no sweep to report).
+func New(prog *sweep.Progress) *Server {
+	return &Server{prog: prog}
+}
+
+// Publish atomically swaps in a new metrics snapshot.  The snapshot
+// must be immutable — callers hand over a private copy, never the
+// live simulator state a worker keeps mutating.
+func (s *Server) Publish(sn *obs.Snapshot) { s.snap.Store(sn) }
+
+// Start binds addr (e.g. ":0" for an ephemeral port) and serves in a
+// background goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.ln = ln
+	s.start = time.Now()
+	s.srv = &http.Server{Handler: mux}
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The run must not die because its observer did; the error
+			// surfaces to curl as a refused connection.
+			_ = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address (host:port), useful with ":0".
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close gracefully shuts the server down so in-flight scrapes finish,
+// then waits for the serve goroutine.  Sweeps defer it to exit cleanly.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	sn := s.snap.Load()
+	if sn == nil {
+		// Comment-only output is still valid Prometheus exposition.
+		fmt.Fprintln(w, "# no snapshot published yet")
+		return
+	}
+	if err := sn.WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// progressDoc is the /progress JSON schema.
+type progressDoc struct {
+	CellsDone      int64   `json:"cells_done"`
+	CellsTotal     int64   `json:"cells_total"`
+	CurrentCell    string  `json:"current_cell"`
+	SimInsts       uint64  `json:"sim_insts"`
+	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	var doc progressDoc
+	if s.prog != nil {
+		doc.CellsDone, doc.CellsTotal, doc.SimInsts, doc.CurrentCell = s.prog.Snapshot()
+	}
+	doc.ElapsedSec = time.Since(s.start).Seconds()
+	if doc.ElapsedSec > 0 {
+		doc.SimInstsPerSec = float64(doc.SimInsts) / doc.ElapsedSec
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&doc)
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"recyclesim/internal/obs"
+	"recyclesim/internal/stats"
+	"recyclesim/internal/sweep"
+)
+
+// startServer binds an ephemeral port and registers cleanup.
+func startServer(t *testing.T, prog *sweep.Progress) *Server {
+	t.Helper()
+	s := New(prog)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, s *Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s body: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestHealthz(t *testing.T) {
+	s := startServer(t, nil)
+	code, body, _ := get(t, s, "/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("GET /healthz = %d %q, want 200 ok", code, body)
+	}
+}
+
+func TestMetricsBeforeAndAfterPublish(t *testing.T) {
+	s := startServer(t, nil)
+	code, body, ctype := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics before publish = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type %q, want Prometheus text exposition", ctype)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			t.Errorf("pre-publish /metrics has non-comment line %q", line)
+		}
+	}
+
+	st := &stats.Sim{Cycles: 100, Committed: 250}
+	s.Publish(&obs.Snapshot{Name: "unit", Stats: st, Metrics: &obs.Metrics{}})
+	code, body, _ = get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics after publish = %d", code)
+	}
+	if !strings.Contains(body, "# run unit") || !strings.Contains(body, "sim_committed 250") {
+		t.Errorf("/metrics missing published snapshot content:\n%s", body)
+	}
+}
+
+func TestProgressJSON(t *testing.T) {
+	prog := &sweep.Progress{}
+	prog.SetTotal(7)
+	prog.StartCell("big.2.16/REC/gcc")
+	prog.FinishCell(12345)
+	s := startServer(t, prog)
+	code, body, ctype := get(t, s, "/progress")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("GET /progress = %d %q", code, ctype)
+	}
+	var doc struct {
+		CellsDone   int64  `json:"cells_done"`
+		CellsTotal  int64  `json:"cells_total"`
+		CurrentCell string `json:"current_cell"`
+		SimInsts    uint64 `json:"sim_insts"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/progress is not JSON: %v\n%s", err, body)
+	}
+	if doc.CellsDone != 1 || doc.CellsTotal != 7 || doc.SimInsts != 12345 ||
+		doc.CurrentCell != "big.2.16/REC/gcc" {
+		t.Errorf("/progress = %+v, want done=1 total=7 insts=12345", doc)
+	}
+}
+
+func TestPprofRoute(t *testing.T) {
+	s := startServer(t, nil)
+	code, body, _ := get(t, s, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("GET /debug/pprof/ = %d, want the pprof index", code)
+	}
+}
+
+func TestCloseIsIdempotentAndStopsServing(t *testing.T) {
+	s := New(nil)
+	if err := s.Close(); err != nil {
+		t.Errorf("Close before Start: %v", err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}

@@ -1,0 +1,48 @@
+package sweep
+
+import "sync/atomic"
+
+// Progress is the shared sweep-progress publisher: workers publish cell
+// starts/finishes and simulated-instruction counts, readers (the
+// observability server's /progress endpoint, the -progress meter)
+// snapshot it concurrently.  All state is atomic — publishing from a
+// Run worker costs a few uncontended atomic ops and never blocks.
+//
+// Rates and ETAs are deliberately out of scope: they need wall-clock
+// time, which simulation packages must not read.  Readers compute them
+// from their own clocks.
+type Progress struct {
+	total atomic.Int64
+	done  atomic.Int64
+	insts atomic.Uint64
+	cur   atomic.Pointer[string]
+}
+
+// SetTotal publishes the number of cells the sweep will run.
+func (p *Progress) SetTotal(n int) { p.total.Store(int64(n)) }
+
+// StartCell publishes the name of a cell a worker just started.  With
+// several workers the current cell is simply the most recently started
+// one.
+func (p *Progress) StartCell(name string) { p.cur.Store(&name) }
+
+// FinishCell marks one cell done and adds its simulated instructions.
+func (p *Progress) FinishCell(insts uint64) {
+	p.insts.Add(insts)
+	p.done.Add(1)
+}
+
+// SetInsts overwrites the cumulative instruction count; single-run
+// publishers (one cell, periodically republished totals) use this
+// instead of FinishCell's final add.
+func (p *Progress) SetInsts(n uint64) { p.insts.Store(n) }
+
+// Snapshot returns a consistent-enough view for display: cells done and
+// total, cumulative simulated instructions, and the most recently
+// started cell name.
+func (p *Progress) Snapshot() (done, total int64, insts uint64, current string) {
+	if s := p.cur.Load(); s != nil {
+		current = *s
+	}
+	return p.done.Load(), p.total.Load(), p.insts.Load(), current
+}

@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestProgressSnapshot(t *testing.T) {
+	var p Progress
+	if done, total, insts, cur := p.Snapshot(); done != 0 || total != 0 || insts != 0 || cur != "" {
+		t.Errorf("zero Progress snapshot = (%d,%d,%d,%q), want zeros", done, total, insts, cur)
+	}
+	p.SetTotal(3)
+	p.StartCell("a")
+	p.FinishCell(100)
+	p.StartCell("b")
+	p.FinishCell(250)
+	done, total, insts, cur := p.Snapshot()
+	if done != 2 || total != 3 || insts != 350 || cur != "b" {
+		t.Errorf("snapshot = (%d,%d,%d,%q), want (2,3,350,b)", done, total, insts, cur)
+	}
+	p.SetInsts(42)
+	if _, _, insts, _ := p.Snapshot(); insts != 42 {
+		t.Errorf("SetInsts not overwriting: insts = %d, want 42", insts)
+	}
+}
+
+// TestProgressConcurrent exercises the publisher from many goroutines;
+// run with -race this pins the "all state is atomic" claim.
+func TestProgressConcurrent(t *testing.T) {
+	var p Progress
+	const workers, cells = 8, 50
+	p.SetTotal(workers * cells)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cells; i++ {
+				p.StartCell("cell")
+				p.FinishCell(10)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			p.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	doneCells, total, insts, _ := p.Snapshot()
+	if doneCells != workers*cells || total != workers*cells || insts != workers*cells*10 {
+		t.Errorf("final snapshot = (%d,%d,%d), want (%d,%d,%d)",
+			doneCells, total, insts, workers*cells, workers*cells, workers*cells*10)
+	}
+}

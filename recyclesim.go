@@ -38,6 +38,7 @@ import (
 	"recyclesim/internal/config"
 	"recyclesim/internal/core"
 	"recyclesim/internal/obs"
+	"recyclesim/internal/obs/pipetrace"
 	"recyclesim/internal/program"
 	"recyclesim/internal/stats"
 	"recyclesim/internal/sweep"
@@ -89,6 +90,20 @@ type Snapshot = obs.Snapshot
 // NewFlightRecorder builds a recorder keeping the last n events
 // (rounded up to a power of two).
 func NewFlightRecorder(n int) *FlightRecorder { return obs.NewRing(n) }
+
+// PipeTracer records per-instruction pipeline stage timelines (the
+// cycle each traced instruction entered fetch/rename/queue/issue/
+// writeback and how it left), exportable as Chrome trace_event JSON
+// (WriteChrome) or Konata text (WriteKonata).
+type PipeTracer = pipetrace.Recorder
+
+// PipeTraceConfig bounds a PipeTracer: sampling rate, PC range, cycle
+// window, and record caps.
+type PipeTraceConfig = pipetrace.Config
+
+// NewPipeTracer builds a pipetrace recorder; the zero config traces
+// every instruction up to the default caps.
+func NewPipeTracer(cfg PipeTraceConfig) *PipeTracer { return pipetrace.New(cfg) }
 
 // Feature presets matching the paper's figure legends.
 var (
@@ -197,6 +212,19 @@ type Options struct {
 	// FlightRecorder, when non-nil, records typed pipeline events
 	// during the run and is included in invariant-failure dumps.
 	FlightRecorder *FlightRecorder
+
+	// PipeTrace, when non-nil, records per-instruction stage timelines
+	// during the run.  Do not share a tracer between concurrent
+	// RunBatch options.
+	PipeTrace *PipeTracer
+
+	// SnapshotHook, when non-nil, receives an immutable copy of the
+	// run's statistics and telemetry every SnapshotEvery committed
+	// instructions (default 65536) and once more after the run — the
+	// feed for a live observability server.  The copies never alias
+	// simulator state, so the hook may hand them to other goroutines.
+	SnapshotHook  func(*Snapshot)
+	SnapshotEvery uint64
 }
 
 // Run executes one simulation and returns its statistics.
@@ -223,15 +251,46 @@ func Run(o Options) (*Result, error) {
 		return nil, err
 	}
 	c.CommitHook = o.CommitHook
+	if o.SnapshotHook != nil {
+		every := o.SnapshotEvery
+		if every == 0 {
+			every = 65536
+		}
+		inner := o.CommitHook
+		var committed uint64
+		c.CommitHook = func(ci CommitInfo) {
+			if inner != nil {
+				inner(ci)
+			}
+			committed++
+			if committed%every == 0 {
+				o.SnapshotHook(coreSnapshot(c))
+			}
+		}
+	}
 	if o.Telemetry != nil {
 		c.Obs.Hists = o.Telemetry.Hists
 	}
 	c.SetRing(o.FlightRecorder)
+	c.SetPipeTrace(o.PipeTrace)
 	res := c.Run(o.MaxInsts, o.MaxCycles)
 	if o.Telemetry != nil {
 		o.Telemetry.Add(c.Obs)
 	}
+	if o.SnapshotHook != nil {
+		o.SnapshotHook(coreSnapshot(c))
+	}
 	return res, nil
+}
+
+// coreSnapshot deep-copies the statistics and telemetry a snapshot
+// needs, so SnapshotHook receivers can use them after the simulation
+// has moved on.
+func coreSnapshot(c *core.Core) *Snapshot {
+	st := *c.Stats
+	st.PerProgram = append([]uint64(nil), c.Stats.PerProgram...)
+	m := *c.Obs
+	return &Snapshot{Stats: &st, Metrics: &m}
 }
 
 // RunBatch executes the given simulations concurrently on a worker
