@@ -6,6 +6,9 @@
 #   make build       compile everything, including examples
 #   make lint        the simulator-specific static analyzers (cmd/recyclelint)
 #   make test        full test suite under the race detector
+#   make fuzz        10s coverage-guided smoke of each fuzz target
+#                    (assembler and config validation), seeded from the
+#                    checked-in corpora under testdata/fuzz
 #   make smoke       one short instrumented run through both telemetry
 #                    exporters (-metrics / -metrics-text), output discarded
 #   make invariant   cosim suite with the runtime invariant checker forced on
@@ -14,9 +17,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build lint test smoke invariant bench
+.PHONY: check fmt vet build lint test fuzz smoke invariant bench
 
-check: fmt vet build lint test smoke
+check: fmt vet build lint test fuzz smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -35,6 +38,13 @@ lint:
 
 test:
 	$(GO) test -race ./...
+
+# One -fuzz pattern per invocation: the Go fuzzer only accepts a single
+# matching target when fuzzing (not just running seeds).
+fuzz:
+	$(GO) test ./internal/asm/ -fuzz FuzzAssemble -fuzztime 10s
+	$(GO) test ./internal/config/ -fuzz FuzzMachineValidate -fuzztime 10s
+	$(GO) test ./internal/config/ -fuzz FuzzFeaturesValidate -fuzztime 10s
 
 smoke:
 	$(GO) run ./cmd/recyclesim -workloads compress -insts 20000 -flightrec 256 -metrics - >/dev/null

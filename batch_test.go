@@ -1,7 +1,9 @@
 package recyclesim
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -113,5 +115,38 @@ func TestRunBatchErrorReporting(t *testing.T) {
 	}
 	if results[1] != nil {
 		t.Error("failed option produced a result")
+	}
+}
+
+// TestRunBatchJoinsAllFailures: every failed job is reported, not just
+// the first — the joined error names each failing input index with its
+// configuration fingerprint, and each sub-error keeps its own cause.
+func TestRunBatchJoinsAllFailures(t *testing.T) {
+	opts := []Options{
+		{Machine: MachineByName("big.2.16"), Features: SMT, Workloads: []string{"compress"}, MaxInsts: 5_000},
+		{Machine: MachineByName("big.2.16"), Features: SMT},                                 // no workloads
+		{Machine: MachineByName("big.1.8"), Features: TME, Workloads: []string{"nonesuch"}}, // unknown workload
+		{Machine: MachineByName("big.2.16"), Features: SMT, Workloads: []string{"li"}, MaxInsts: 5_000},
+	}
+	results, err := RunBatch(opts, 2)
+	if err == nil {
+		t.Fatal("batch with two bad jobs reported no error")
+	}
+	for _, i := range []int{0, 3} {
+		if results[i] == nil {
+			t.Errorf("good job %d lost its result", i)
+		}
+	}
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Fatalf("batch error %T does not unwrap to a list", err)
+	}
+	if n := len(joined.Unwrap()); n != 2 {
+		t.Fatalf("%d joined errors, want 2: %v", n, err)
+	}
+	for _, want := range []string{"batch job 1 (big.2.16/SMT//max", "batch job 2 (big.1.8/TME/nonesuch/max"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %q", err, want)
+		}
 	}
 }

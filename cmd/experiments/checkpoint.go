@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"recyclesim/internal/obs"
+	"recyclesim/internal/stats"
+)
+
+// cellRecord is one completed simulation cell as persisted in the
+// checkpoint file: the cell's identity key plus its full statistics
+// and (when telemetry was collected) metrics.  Every field of both
+// payloads is integral, so the JSON round trip is exact and a resumed
+// sweep's output stays byte-identical to an uninterrupted one.
+type cellRecord struct {
+	Key     string       `json:"key"`
+	Stats   *stats.Sim   `json:"stats"`
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
+}
+
+// checkpoint is an append-only JSONL journal of completed cells.  Load
+// reads whatever a previous (possibly interrupted) sweep finished;
+// record appends one line per fresh completion under a mutex, so the
+// worker pool can write concurrently and a kill at any byte boundary
+// loses at most the final partial line, which load skips.
+type checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]cellRecord
+}
+
+// loadCheckpoint opens (creating if needed) the journal at path and
+// indexes its completed cells.  Unparseable lines other than a
+// truncated final line are reported as errors: a corrupt journal
+// silently treated as empty would rerun cells and then append
+// duplicates.
+func loadCheckpoint(path string) (*checkpoint, error) {
+	cp := &checkpoint{done: make(map[string]cellRecord)}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return nil, err
+	default:
+		lines := strings.Split(string(data), "\n")
+		for i, line := range lines {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			var rec cellRecord
+			if jerr := json.Unmarshal([]byte(line), &rec); jerr != nil {
+				if i == len(lines)-1 {
+					// Torn final line from an interrupted append.
+					break
+				}
+				return nil, fmt.Errorf("%s:%d: %v", path, i+1, jerr)
+			}
+			if rec.Key == "" || rec.Stats == nil {
+				return nil, fmt.Errorf("%s:%d: record missing key or stats", path, i+1)
+			}
+			cp.done[rec.Key] = rec
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cp.f = f
+	return cp, nil
+}
+
+// lookup returns the persisted record for a cell key, if any.
+func (cp *checkpoint) lookup(key string) (cellRecord, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	rec, ok := cp.done[key]
+	return rec, ok
+}
+
+// resumed reports how many cells the journal already held at load.
+func (cp *checkpoint) resumed() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.done)
+}
+
+// record journals one freshly completed cell.  Append errors are
+// returned, not fatal: the sweep's in-memory results are unaffected,
+// only resumability of this cell is lost.
+func (cp *checkpoint) record(key string, s *stats.Sim, m *obs.Metrics) error {
+	rec := cellRecord{Key: key, Stats: s, Metrics: m}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.done[key] = rec
+	_, err = cp.f.Write(append(line, '\n'))
+	return err
+}
+
+func (cp *checkpoint) Close() error { return cp.f.Close() }

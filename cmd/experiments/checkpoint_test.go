@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"recyclesim"
+	"recyclesim/internal/config"
+	"recyclesim/internal/obs"
+	"recyclesim/internal/stats"
+)
+
+// TestCheckpointRoundTrip: record then reload; restored cells carry
+// the exact statistics that were journaled.
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	cp, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stats.Sim{Cycles: 123, Committed: 456, PerProgram: []uint64{456}}
+	m := &obs.Metrics{}
+	m.SlotCycles[obs.CauseIdle] = 99
+	if err := cp.record("k1", s, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.record("k2", &stats.Sim{Cycles: 7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	cp2, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.resumed() != 2 {
+		t.Fatalf("resumed %d cells, want 2", cp2.resumed())
+	}
+	rec, ok := cp2.lookup("k1")
+	if !ok {
+		t.Fatal("k1 lost")
+	}
+	if rec.Stats.Cycles != 123 || rec.Stats.Committed != 456 || len(rec.Stats.PerProgram) != 1 {
+		t.Errorf("restored stats %+v", rec.Stats)
+	}
+	if rec.Metrics == nil || rec.Metrics.SlotCycles[obs.CauseIdle] != 99 {
+		t.Errorf("restored metrics %+v", rec.Metrics)
+	}
+	if _, ok := cp2.lookup("k3"); ok {
+		t.Error("phantom cell")
+	}
+}
+
+// TestCheckpointTornFinalLine: a kill mid-append leaves a truncated
+// last line; loading must keep every complete record and drop only the
+// torn one.
+func TestCheckpointTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	cp, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.record("whole", &stats.Sim{Cycles: 1}, nil)
+	cp.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`{"key":"torn","stats":{"Cyc`)
+	f.Close()
+
+	cp2, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("torn final line rejected: %v", err)
+	}
+	defer cp2.Close()
+	if cp2.resumed() != 1 {
+		t.Errorf("resumed %d, want 1", cp2.resumed())
+	}
+	if _, ok := cp2.lookup("torn"); ok {
+		t.Error("torn record restored")
+	}
+}
+
+// TestCheckpointCorruptMiddleRejected: corruption anywhere but a torn
+// tail must fail loudly, not silently rerun and duplicate cells.
+func TestCheckpointCorruptMiddleRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	os.WriteFile(path, []byte("not json\n{\"key\":\"k\",\"stats\":{}}\n"), 0o644)
+	if _, err := loadCheckpoint(path); err == nil {
+		t.Fatal("corrupt journal loaded")
+	}
+}
+
+// poisonedRunner builds a runner whose middle job names a workload
+// that does not exist, so its cell fails at program construction.
+func poisonedRunner(keepGoing bool) *runner {
+	r := newRunner()
+	r.keepGoing = keepGoing
+	job := func(names ...string) simJob {
+		return simJob{mach: config.Big216(), feat: config.SMT, names: names, insts: 2_000}
+	}
+	r.jobs = []simJob{job("compress"), job("nonesuch"), job("li")}
+	return r
+}
+
+// TestComputeAllKeepGoing: with -keep-going the poisoned cell records
+// its error and zero stats while every healthy cell still completes.
+func TestComputeAllKeepGoing(t *testing.T) {
+	r := poisonedRunner(true)
+	r.computeAll(context.Background(), 2)
+	if r.errs[1] == nil {
+		t.Fatal("poisoned cell recorded no error")
+	}
+	if r.results[1] == nil || r.results[1].Committed != 0 {
+		t.Error("poisoned cell must print as zeros")
+	}
+	for _, i := range []int{0, 2} {
+		if r.errs[i] != nil {
+			t.Errorf("healthy cell %d failed: %v", i, r.errs[i])
+		}
+		if r.results[i].Committed < 2_000 {
+			t.Errorf("healthy cell %d committed %d", i, r.results[i].Committed)
+		}
+	}
+	failed := r.failedCells()
+	if len(failed) != 1 || !strings.Contains(failed[0], "nonesuch") {
+		t.Errorf("failure summary %q", failed)
+	}
+}
+
+// TestComputeAllFailFast: without -keep-going the first failure
+// cancels the remaining cells (serial pool makes the order exact; the
+// budgets are large enough that every cell crosses the poll cadence).
+func TestComputeAllFailFast(t *testing.T) {
+	r := poisonedRunner(false)
+	r.jobs[0], r.jobs[1] = r.jobs[1], r.jobs[0] // poison first
+	for i := range r.jobs {
+		r.jobs[i].insts = 100_000
+	}
+	r.computeAll(context.Background(), 1)
+	if r.errs[0] == nil {
+		t.Fatal("poisoned cell recorded no error")
+	}
+	for _, i := range []int{1, 2} {
+		if !errors.Is(r.errs[i], recyclesim.ErrCanceled) {
+			t.Errorf("cell %d after failure: err %v, want ErrCanceled", i, r.errs[i])
+		}
+	}
+}
+
+// TestComputeAllRestoresFromCheckpoint: a second sweep over the same
+// cells must restore every result from the journal without
+// simulating, and the restored statistics must be byte-identical.
+func TestComputeAllRestoresFromCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	run := func() *runner {
+		r := newRunner()
+		cp, err := loadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cp.Close()
+		r.cp = cp
+		r.jobs = []simJob{
+			{mach: config.Big216(), feat: config.RECRSRU, names: []string{"compress"}, insts: 2_000},
+			{mach: config.Big18(), feat: config.TME, names: []string{"li"}, insts: 2_000},
+		}
+		r.computeAll(context.Background(), 2)
+		return r
+	}
+	first := run()
+	data1, _ := os.ReadFile(path)
+	second := run()
+	data2, _ := os.ReadFile(path)
+	if string(data1) != string(data2) {
+		t.Error("resumed sweep appended to a complete journal")
+	}
+	for i := range first.results {
+		a := fmt.Sprintf("%+v", *first.results[i])
+		b := fmt.Sprintf("%+v", *second.results[i])
+		if a != b {
+			t.Errorf("cell %d: restored stats differ from computed:\n %s\n %s", i, a, b)
+		}
+	}
+}

@@ -24,18 +24,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
+	"recyclesim"
 	"recyclesim/internal/config"
-	"recyclesim/internal/core"
 	"recyclesim/internal/obs"
 	"recyclesim/internal/obs/server"
 	"recyclesim/internal/stats"
@@ -44,10 +46,19 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT cancels the sweep cooperatively: in-flight cells stop at
+	// their next poll, completed cells stay journaled in -checkpoint,
+	// and the harness flushes whatever finished before exiting nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fig := fs.Int("fig", 0, "figure number to regenerate (3, 4, 5, 6)")
@@ -58,6 +69,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metrics := fs.String("metrics", "", "write an aggregate JSON telemetry snapshot over all cells to this file (\"-\" for stdout)")
 	progress := fs.Bool("progress", false, "print a single-line in-place progress meter to stderr")
 	obsListen := fs.String("obs-listen", "", "serve /metrics, /progress, /healthz and pprof on this address during the sweep (e.g. \":0\")")
+	keepGoing := fs.Bool("keep-going", false, "keep computing remaining cells after a cell fails (failed cells print as zeros; exit stays nonzero)")
+	checkpointPath := fs.String("checkpoint", "", "journal completed cells to this file and resume from it, skipping cells it already holds")
+	crashDir := fs.String("crash-dir", "", "persist a crash bundle here for any cell that panics or livelocks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -112,9 +126,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// the distinct simulation cells they need.
 	r := newRunner()
 	r.withMetrics = *metrics != ""
+	r.keepGoing = *keepGoing
+	r.crashDir = *crashDir
 	for _, s := range sections {
 		if s.want {
 			s.print(io.Discard, r)
+		}
+	}
+	if *checkpointPath != "" {
+		cp, err := loadCheckpoint(*checkpointPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: -checkpoint: %v\n", err)
+			return 2
+		}
+		defer cp.Close()
+		r.cp = cp
+		if n := cp.resumed(); n > 0 {
+			fmt.Fprintf(stderr, "experiments: resuming from %s (%d completed cell(s) on file)\n",
+				*checkpointPath, n)
 		}
 	}
 
@@ -137,9 +166,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Pass 2: compute every cell once, in parallel across the pool.
 	if *progress {
-		runWithMeter(stderr, r, *workers)
+		runWithMeter(ctx, stderr, r, *workers)
 	} else {
-		r.computeAll(*workers)
+		r.computeAll(ctx, *workers)
 	}
 
 	// Pass 3: re-run the print functions for real, replaying memoized
@@ -170,7 +199,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	return 0
+
+	// Fault summary goes to stderr so stdout stays byte-identical to a
+	// clean sweep (failed cells printed as zeros above).
+	exit := 0
+	if failed := r.failedCells(); len(failed) > 0 {
+		exit = 1
+		fmt.Fprintf(stderr, "experiments: %d of %d cell(s) failed:\n", len(failed), len(r.jobs))
+		for _, line := range failed {
+			fmt.Fprintf(stderr, "  %s\n", line)
+		}
+	}
+	if ctx.Err() != nil {
+		exit = 1
+		fmt.Fprintln(stderr, "experiments: interrupted; results above cover completed cells only")
+		if r.cp != nil {
+			fmt.Fprintln(stderr, "experiments: completed cells are journaled; rerun with the same -checkpoint to resume")
+		}
+	}
+	return exit
 }
 
 // simKey identifies one simulation cell.  config.Features is a flat
@@ -197,10 +244,14 @@ type simJob struct {
 type runner struct {
 	collect     bool
 	withMetrics bool
+	keepGoing   bool
+	crashDir    string
+	cp          *checkpoint
 	seen        map[simKey]int
 	jobs        []simJob
 	results     []*stats.Sim
 	metrics     []*obs.Metrics
+	errs        []error
 
 	// prog, when non-nil, receives per-cell progress from the workers
 	// (feeding both the -progress meter and the /progress endpoint).
@@ -231,26 +282,97 @@ func (r *runner) sim(mach config.Machine, feat config.Features, names []string, 
 	return r.results[i]
 }
 
-func (r *runner) computeAll(workers int) {
+// cellKey renders a cell's full identity (the %+v of the flat Features
+// struct covers custom knob combinations that share a figure-legend
+// name) for the checkpoint journal.
+func cellKey(j simJob) string {
+	return fmt.Sprintf("%s|%+v|%s|%d", j.mach.Name, j.feat, strings.Join(j.names, "+"), j.insts)
+}
+
+// computeAll executes every collected cell across the worker pool with
+// per-cell fault containment: a failed cell records its error and a
+// zero result (so the replay pass still prints), and unless keepGoing
+// is set the first failure cancels the cells still queued or running.
+// Cells found in the checkpoint journal are restored instead of
+// simulated; fresh completions are journaled as they land.
+func (r *runner) computeAll(ctx context.Context, workers int) {
 	r.results = make([]*stats.Sim, len(r.jobs))
 	r.metrics = make([]*obs.Metrics, len(r.jobs))
+	r.errs = make([]error, len(r.jobs))
 	if r.prog != nil {
 		r.prog.SetTotal(len(r.jobs))
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	sweep.Run(len(r.jobs), workers, func(i int) {
 		j := r.jobs[i]
+		if r.cp != nil {
+			if rec, ok := r.cp.lookup(cellKey(j)); ok {
+				r.results[i], r.metrics[i] = rec.Stats, rec.Metrics
+				if r.metrics[i] == nil {
+					r.metrics[i] = &obs.Metrics{}
+				}
+				if r.prog != nil {
+					r.prog.StartCell(j.mach.Name + "/" + config.FeatureName(j.feat) + "/" + strings.Join(j.names, "+"))
+					r.prog.FinishCell(rec.Stats.Committed)
+				}
+				if r.publish != nil {
+					r.publish(r.results[i], r.metrics[i])
+				}
+				return
+			}
+		}
 		if r.prog != nil {
 			r.prog.StartCell(j.mach.Name + "/" + config.FeatureName(j.feat) + "/" + strings.Join(j.names, "+"))
 		}
-		r.results[i], r.metrics[i] = runSim(j.mach, j.feat, j.names, j.insts, r.withMetrics)
+		s, m, err := runSim(ctx, j, r.withMetrics, r.crashDir)
+		if err != nil {
+			r.errs[i] = err
+			r.results[i], r.metrics[i] = &stats.Sim{}, &obs.Metrics{}
+			if !r.keepGoing {
+				cancel()
+			}
+			if r.prog != nil {
+				r.prog.FinishCell(0)
+			}
+			return
+		}
+		r.results[i], r.metrics[i] = s, m
+		if r.cp != nil {
+			if werr := r.cp.record(cellKey(j), s, m); werr != nil {
+				// The in-memory result is intact; only resumability of
+				// this one cell is lost.
+				r.errs[i] = fmt.Errorf("checkpoint append: %w", werr)
+			}
+		}
 		if r.prog != nil {
-			r.prog.FinishCell(r.results[i].Committed)
+			r.prog.FinishCell(s.Committed)
 		}
 		if r.publish != nil {
-			r.publish(r.results[i], r.metrics[i])
+			r.publish(s, m)
 		}
 	})
 	r.collect = false
+}
+
+// failedCells renders one line per failed cell for the stderr summary.
+func (r *runner) failedCells() []string {
+	var out []string
+	for i, err := range r.errs {
+		if err != nil {
+			out = append(out, fmt.Sprintf("cell %s: %v", cellKey(r.jobs[i]), firstLine(err.Error())))
+		}
+	}
+	return out
+}
+
+// firstLine truncates multi-line error text (livelock dumps and the
+// like) for the one-line-per-cell summary.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " [...]"
+	}
+	return s
 }
 
 // aggregator accumulates finished cells under a lock and builds the
@@ -280,7 +402,7 @@ func (a *aggregator) add(s *stats.Sim, m *obs.Metrics) *obs.Snapshot {
 
 // runWithMeter wraps computeAll with a stderr progress meter redrawn in
 // place a few times a second and finished with a newline.
-func runWithMeter(stderr io.Writer, r *runner, workers int) {
+func runWithMeter(ctx context.Context, stderr io.Writer, r *runner, workers int) {
 	start := time.Now()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -299,7 +421,7 @@ func runWithMeter(stderr io.Writer, r *runner, workers int) {
 			}
 		}
 	}()
-	r.computeAll(workers)
+	r.computeAll(ctx, workers)
 	close(stop)
 	wg.Wait()
 	done, total, _, _ := r.prog.Snapshot()
@@ -330,17 +452,27 @@ func formatProgress(done, total int64, current string, elapsed time.Duration) st
 	return s
 }
 
-func runSim(mach config.Machine, feat config.Features, names []string, insts uint64, hists bool) (*stats.Sim, *obs.Metrics) {
-	progs, err := workload.MixPrograms(names)
+// runSim executes one cell through the library facade, inheriting its
+// fault containment: panics, livelocks, and cancellation come back as
+// typed errors instead of killing the worker pool.  MaxCycles is set
+// explicitly to the harness's historical 40x budget (the facade's own
+// default is 4x), so results are byte-identical to the pre-facade
+// harness.
+func runSim(ctx context.Context, j simJob, hists bool, crashDir string) (*stats.Sim, *obs.Metrics, error) {
+	tel := &obs.Metrics{Hists: hists}
+	res, err := recyclesim.RunContext(ctx, recyclesim.Options{
+		Machine:   j.mach,
+		Features:  j.feat,
+		Workloads: j.names,
+		MaxInsts:  j.insts,
+		MaxCycles: 40 * j.insts,
+		Telemetry: tel,
+		CrashDir:  crashDir,
+	})
 	if err != nil {
-		panic(err)
+		return nil, nil, err
 	}
-	c, err := core.New(mach, feat, progs)
-	if err != nil {
-		panic(err)
-	}
-	c.Obs.Hists = hists
-	return c.Run(insts, 40*insts), c.Obs
+	return res, tel, nil
 }
 
 // writeMetrics exports one aggregate snapshot over every computed cell:

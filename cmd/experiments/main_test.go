@@ -1,6 +1,9 @@
 package main
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -121,5 +124,74 @@ func TestObservabilityDoesNotPerturbOutput(t *testing.T) {
 	}
 	if !strings.Contains(obsErr.String(), "observability server on http://") {
 		t.Errorf("stderr missing server announcement:\n%s", obsErr.String())
+	}
+}
+
+// TestCheckpointResumeCLI: the same invocation run twice against one
+// checkpoint file must print byte-identical output, report the resume
+// on stderr, and leave the journal unchanged (nothing resimulated,
+// nothing re-appended).
+func TestCheckpointResumeCLI(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "cells.jsonl")
+	args := []string{"-fig", "3", "-insts", "300", "-checkpoint", cp}
+
+	var out1, err1 strings.Builder
+	if got := run(args, &out1, &err1); got != 0 {
+		t.Fatalf("first run exited %d:\n%s", got, err1.String())
+	}
+	data1, err := os.ReadFile(cp)
+	if err != nil || len(data1) == 0 {
+		t.Fatalf("no journal written: %v", err)
+	}
+
+	var out2, err2 strings.Builder
+	if got := run(args, &out2, &err2); got != 0 {
+		t.Fatalf("resumed run exited %d:\n%s", got, err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Error("resumed run's stdout differs from the original")
+	}
+	if !strings.Contains(err2.String(), "resuming from") {
+		t.Errorf("resume not announced on stderr: %q", err2.String())
+	}
+	data2, _ := os.ReadFile(cp)
+	if string(data1) != string(data2) {
+		t.Error("resumed run modified a complete journal")
+	}
+}
+
+// TestCheckpointCorruptCLI: a corrupt journal is a flag-level error
+// (exit 2), before any simulation runs.
+func TestCheckpointCorruptCLI(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "cells.jsonl")
+	os.WriteFile(cp, []byte("garbage\n{\"key\":\"k\",\"stats\":{}}\n"), 0o644)
+	var out, errb strings.Builder
+	if got := run([]string{"-fig", "3", "-insts", "300", "-checkpoint", cp}, &out, &errb); got != 2 {
+		t.Fatalf("exit %d, want 2", got)
+	}
+	if !strings.Contains(errb.String(), "-checkpoint") {
+		t.Errorf("stderr %q", errb.String())
+	}
+}
+
+// TestInterruptedSweep: a canceled context (the SIGINT path) exits
+// nonzero, reports the interruption, and still prints the report
+// skeleton with completed cells only.
+func TestInterruptedSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb strings.Builder
+	got := runCtx(ctx, []string{"-fig", "3", "-insts", "100000"}, &out, &errb)
+	if got != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", got, errb.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Errorf("stderr missing interruption notice: %q", errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 3") {
+		t.Error("report skeleton not flushed")
+	}
+	if !strings.Contains(errb.String(), "cell(s) failed") {
+		t.Errorf("canceled cells not summarized: %q", errb.String())
 	}
 }

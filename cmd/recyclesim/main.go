@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -48,10 +51,18 @@ func parseRange(s string) (lo, hi uint64, err error) {
 }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT cancels the run cooperatively: the simulation stops at its
+	// next cancellation poll and the partial statistics are printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("recyclesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	machine := fs.String("machine", "big.2.16", "machine configuration: "+strings.Join(recyclesim.MachineNames(), ", "))
@@ -71,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pipetraceCycles := fs.String("pipetrace-cycles", "", "restrict tracing to instructions renamed in cycle window \"lo:hi\"")
 	pipetraceMax := fs.Int("pipetrace-max", 1<<20, "hard cap on traced instructions (excess counted, not recorded)")
 	obsListen := fs.String("obs-listen", "", "serve /metrics, /progress, /healthz and pprof on this address during the run (e.g. \":0\")")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget; an expired run exits 1 with its partial statistics")
+	watchdog := fs.String("watchdog", "", "forward-progress window in cycles: a number, or \"off\" (default 50000)")
+	crashDir := fs.String("crash-dir", "", "persist a crash bundle here when the run panics or livelocks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +126,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	feat.AltLimit = *limit
+	switch *watchdog {
+	case "":
+	case "off":
+		feat.WatchdogCycles = recyclesim.WatchdogOff
+	default:
+		n, err := strconv.ParseUint(*watchdog, 0, 64)
+		if err != nil || n == 0 {
+			fmt.Fprintf(stderr, "recyclesim: bad -watchdog %q (want a positive cycle count or \"off\")\n", *watchdog)
+			return 2
+		}
+		feat.WatchdogCycles = n
+	}
 
 	names := strings.Split(*workloads, ",")
 	known := map[string]bool{}
@@ -189,7 +215,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	res, err := recyclesim.Run(recyclesim.Options{
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := recyclesim.RunContext(ctx, recyclesim.Options{
 		Machine:        mach,
 		Features:       feat,
 		Workloads:      names,
@@ -198,10 +229,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		FlightRecorder: ring,
 		PipeTrace:      tracer,
 		SnapshotHook:   snapshotHook,
+		CrashDir:       *crashDir,
 	})
+	exit := 0
 	if err != nil {
+		exit = 1
 		fmt.Fprintln(stderr, err)
-		return 1
+		if res == nil {
+			// Panic or configuration failure: no usable state to print.
+			return 1
+		}
+		// Clean stop (cancel, deadline, livelock): the partial
+		// statistics and telemetry below are internally consistent.
+		switch {
+		case errors.Is(err, recyclesim.ErrCanceled):
+			fmt.Fprintln(stderr, "recyclesim: interrupted; partial statistics follow")
+		case errors.Is(err, recyclesim.ErrDeadline):
+			fmt.Fprintln(stderr, "recyclesim: -timeout expired; partial statistics follow")
+		case errors.Is(err, recyclesim.ErrLivelock):
+			fmt.Fprintln(stderr, "recyclesim: statistics up to the livelock follow")
+		}
 	}
 	if prog != nil {
 		prog.FinishCell(0)
@@ -274,7 +321,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *metricsJSON == "-" || *metricsText == "-" || *pipetraceOut == "-" || *pipetraceKonata == "-" {
-		return 0 // snapshot/trace owns stdout; keep it machine-readable
+		return exit // snapshot/trace owns stdout; keep it machine-readable
 	}
 	fmt.Fprintf(stdout, "machine    %s\n", *machine)
 	fmt.Fprintf(stdout, "features   %s (alt %s-%d)\n", recyclesim.FeatureName(feat), feat.AltPolicy, feat.AltLimit)
@@ -293,5 +340,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i, n := range res.PerProgram {
 		fmt.Fprintf(stdout, "program %d  committed %d\n", i, n)
 	}
-	return 0
+	return exit
 }

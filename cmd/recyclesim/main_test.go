@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -85,4 +86,60 @@ func TestRunArgs(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestFaultFlags covers the fault-containment surface of the CLI: bad
+// -watchdog values are flag errors; an expired -timeout and an
+// interrupted context exit 1 but still print the partial statistics;
+// -watchdog off runs clean.
+func TestFaultFlags(t *testing.T) {
+	t.Run("bad watchdog value", func(t *testing.T) {
+		var out, errb strings.Builder
+		if got := run([]string{"-watchdog", "sometimes"}, &out, &errb); got != 2 {
+			t.Fatalf("exit %d, want 2", got)
+		}
+		if !strings.Contains(errb.String(), "-watchdog") {
+			t.Errorf("stderr %q", errb.String())
+		}
+	})
+	t.Run("watchdog off runs clean", func(t *testing.T) {
+		var out, errb strings.Builder
+		if got := run([]string{"-watchdog", "off", "-insts", "2000"}, &out, &errb); got != 0 {
+			t.Fatalf("exit %d, want 0\n%s", got, errb.String())
+		}
+	})
+	t.Run("explicit watchdog window runs clean", func(t *testing.T) {
+		var out, errb strings.Builder
+		if got := run([]string{"-watchdog", "100000", "-insts", "2000"}, &out, &errb); got != 0 {
+			t.Fatalf("exit %d, want 0\n%s", got, errb.String())
+		}
+	})
+	t.Run("expired timeout prints partial stats", func(t *testing.T) {
+		var out, errb strings.Builder
+		got := run([]string{"-timeout", "1ns", "-insts", "5000000"}, &out, &errb)
+		if got != 1 {
+			t.Fatalf("exit %d, want 1\nstderr:\n%s", got, errb.String())
+		}
+		if !strings.Contains(errb.String(), "deadline") || !strings.Contains(errb.String(), "partial statistics") {
+			t.Errorf("stderr %q", errb.String())
+		}
+		if !strings.Contains(out.String(), "IPC") {
+			t.Error("partial statistics not printed")
+		}
+	})
+	t.Run("canceled context prints partial stats", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var out, errb strings.Builder
+		got := runCtx(ctx, []string{"-insts", "5000000"}, &out, &errb)
+		if got != 1 {
+			t.Fatalf("exit %d, want 1\nstderr:\n%s", got, errb.String())
+		}
+		if !strings.Contains(errb.String(), "interrupted") {
+			t.Errorf("stderr %q", errb.String())
+		}
+		if !strings.Contains(out.String(), "IPC") {
+			t.Error("partial statistics not printed")
+		}
+	})
 }

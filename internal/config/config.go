@@ -38,23 +38,38 @@ type Machine struct {
 	FrontEndLat int // fetch-to-rename latency (decode stages)
 }
 
-// Validate checks configuration invariants.
+// Validate checks configuration invariants.  It returns a descriptive
+// error for every malformed field rather than letting a bad value
+// surface later as a mysterious simulation crash; recyclesim.Run calls
+// it (and Features.Validate) before constructing a core.
 func (m Machine) Validate() error {
 	switch {
 	case m.Contexts < 1 || m.Contexts > 16:
-		return fmt.Errorf("config %s: contexts %d out of range", m.Name, m.Contexts)
+		return fmt.Errorf("config %s: contexts %d out of range [1,16]", m.Name, m.Contexts)
 	case m.FetchThreads < 1 || m.FetchWidth < 1 || m.FetchBlock < 1:
-		return fmt.Errorf("config %s: bad fetch geometry", m.Name)
+		return fmt.Errorf("config %s: bad fetch geometry (threads=%d width=%d block=%d; all must be >= 1)",
+			m.Name, m.FetchThreads, m.FetchWidth, m.FetchBlock)
+	case m.FetchThreads > m.Contexts:
+		return fmt.Errorf("config %s: %d fetch threads exceed %d hardware contexts", m.Name, m.FetchThreads, m.Contexts)
+	case m.FetchBlock > m.FetchWidth:
+		return fmt.Errorf("config %s: fetch block %d exceeds total fetch width %d", m.Name, m.FetchBlock, m.FetchWidth)
 	case m.RenameWidth < 1 || m.CommitWidth < 1:
-		return fmt.Errorf("config %s: bad rename/commit width", m.Name)
+		return fmt.Errorf("config %s: bad rename/commit width (rename=%d commit=%d; both must be >= 1)",
+			m.Name, m.RenameWidth, m.CommitWidth)
 	case m.IQInt < 1 || m.IQFP < 1:
-		return fmt.Errorf("config %s: bad queue sizes", m.Name)
+		return fmt.Errorf("config %s: bad queue sizes (int=%d fp=%d; both must be >= 1)", m.Name, m.IQInt, m.IQFP)
 	case m.IntUnits < 1 || m.FPUnits < 1 || m.LSUnits < 1 || m.LSUnits > m.IntUnits:
-		return fmt.Errorf("config %s: bad functional unit counts", m.Name)
+		return fmt.Errorf("config %s: bad functional unit counts (int=%d ls=%d fp=%d; all >= 1 and ls <= int)",
+			m.Name, m.IntUnits, m.LSUnits, m.FPUnits)
 	case m.ActiveList < 8:
-		return fmt.Errorf("config %s: active list too small", m.Name)
+		return fmt.Errorf("config %s: active list of %d entries too small (minimum 8)", m.Name, m.ActiveList)
 	case m.ExtraRegs < 0:
-		return fmt.Errorf("config %s: negative extra registers", m.Name)
+		return fmt.Errorf("config %s: negative extra registers (%d)", m.Name, m.ExtraRegs)
+	case m.CacheScale < 1 || m.CacheScale&(m.CacheScale-1) != 0:
+		return fmt.Errorf("config %s: cache scale %d must be a positive power of two (it divides the power-of-two cache capacities)",
+			m.Name, m.CacheScale)
+	case m.FrontEndLat < 0:
+		return fmt.Errorf("config %s: negative front-end latency (%d)", m.Name, m.FrontEndLat)
 	}
 	return nil
 }
@@ -172,6 +187,44 @@ type Features struct {
 	// disables checking unless the simulator was built with the
 	// siminvariant build tag, which supplies a default period.
 	InvariantEvery uint64
+
+	// WatchdogCycles is the forward-progress watchdog window: if a run
+	// commits no instruction for this many consecutive cycles while
+	// programs are still live, core.Run fails fast with a livelock
+	// diagnosis instead of burning cycles until MaxCycles.  Zero selects
+	// the default window (the watchdog is on by default); WatchdogOff
+	// disables it.  The window is counted in simulated cycles, never
+	// wall clock, so enabling it cannot perturb determinism.
+	WatchdogCycles uint64
+}
+
+// WatchdogOff disables the forward-progress watchdog when assigned to
+// Features.WatchdogCycles.
+const WatchdogOff = ^uint64(0)
+
+// Validate checks feature-knob consistency, rejecting combinations the
+// architecture cannot express: the recycling mechanisms (§3) all build
+// on TME's per-context traces, and alternate paths need a positive
+// instruction cap.  The zero Features (the SMT preset) is valid.
+func (f Features) Validate() error {
+	switch {
+	case f.AltPolicy != AltStop && f.AltPolicy != AltFetch && f.AltPolicy != AltNoStop:
+		return fmt.Errorf("features %s: unknown alternate-path policy %d", FeatureName(f), int(f.AltPolicy))
+	case f.AltLimit < 0:
+		return fmt.Errorf("features %s: negative alternate-path limit %d", FeatureName(f), f.AltLimit)
+	case f.TME && f.AltLimit <= 0:
+		return fmt.Errorf("features %s: TME enabled with non-positive AltLimit %d (alternate paths need an instruction cap)",
+			FeatureName(f), f.AltLimit)
+	case f.Recycle && !f.TME:
+		return fmt.Errorf("features %s: Recycle requires TME (recycled traces live in alternate-path active lists)", FeatureName(f))
+	case f.Reuse && !f.Recycle:
+		return fmt.Errorf("features %s: Reuse requires Recycle (results are reused from recycled traces)", FeatureName(f))
+	case f.Respawn && !f.Recycle:
+		return fmt.Errorf("features %s: Respawn requires Recycle (re-spawning activates traces through the recycle datapath)", FeatureName(f))
+	case f.TrustTrace && !f.Recycle:
+		return fmt.Errorf("features %s: TrustTrace requires Recycle (it selects how recycled branch predictions are handled)", FeatureName(f))
+	}
+	return nil
 }
 
 // Named feature presets matching the paper's figure legends.

@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestMachinesValid(t *testing.T) {
 	ms := Machines()
@@ -40,22 +43,91 @@ func TestMachineGeometry(t *testing.T) {
 }
 
 func TestValidateCatchesBadConfigs(t *testing.T) {
-	bad := []func(m *Machine){
-		func(m *Machine) { m.Contexts = 0 },
-		func(m *Machine) { m.Contexts = 99 },
-		func(m *Machine) { m.FetchThreads = 0 },
-		func(m *Machine) { m.RenameWidth = 0 },
-		func(m *Machine) { m.IQInt = 0 },
-		func(m *Machine) { m.LSUnits = 99 }, // exceeds IntUnits
-		func(m *Machine) { m.ActiveList = 4 },
-		func(m *Machine) { m.ExtraRegs = -1 },
+	cases := []struct {
+		name   string
+		mutate func(m *Machine)
+		want   string // substring the error must carry
+	}{
+		{"zero contexts", func(m *Machine) { m.Contexts = 0 }, "contexts"},
+		{"too many contexts", func(m *Machine) { m.Contexts = 99 }, "contexts"},
+		{"zero fetch threads", func(m *Machine) { m.FetchThreads = 0 }, "fetch geometry"},
+		{"zero fetch width", func(m *Machine) { m.FetchWidth = 0 }, "fetch geometry"},
+		{"zero fetch block", func(m *Machine) { m.FetchBlock = 0 }, "fetch geometry"},
+		{"more fetch threads than contexts", func(m *Machine) { m.FetchThreads = m.Contexts + 1 }, "fetch threads"},
+		{"fetch block wider than fetch width", func(m *Machine) { m.FetchBlock = m.FetchWidth + 1 }, "fetch block"},
+		{"zero rename width", func(m *Machine) { m.RenameWidth = 0 }, "rename/commit width"},
+		{"zero commit width", func(m *Machine) { m.CommitWidth = 0 }, "rename/commit width"},
+		{"zero int queue", func(m *Machine) { m.IQInt = 0 }, "queue sizes"},
+		{"zero fp queue", func(m *Machine) { m.IQFP = 0 }, "queue sizes"},
+		{"zero int units", func(m *Machine) { m.IntUnits = 0 }, "functional unit"},
+		{"zero fp units", func(m *Machine) { m.FPUnits = 0 }, "functional unit"},
+		{"ls units exceed int units", func(m *Machine) { m.LSUnits = m.IntUnits + 1 }, "functional unit"},
+		{"active list too small", func(m *Machine) { m.ActiveList = 4 }, "active list"},
+		{"negative extra registers", func(m *Machine) { m.ExtraRegs = -1 }, "extra registers"},
+		{"zero cache scale", func(m *Machine) { m.CacheScale = 0 }, "cache scale"},
+		{"negative cache scale", func(m *Machine) { m.CacheScale = -2 }, "cache scale"},
+		{"non-power-of-two cache scale", func(m *Machine) { m.CacheScale = 3 }, "power of two"},
+		{"negative front-end latency", func(m *Machine) { m.FrontEndLat = -1 }, "front-end latency"},
 	}
-	for i, mutate := range bad {
-		m := Big216()
-		mutate(&m)
-		if err := m.Validate(); err == nil {
-			t.Errorf("mutation %d validated", i)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := Big216()
+			tc.mutate(&m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatal("bad machine validated")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFeaturesValidate(t *testing.T) {
+	for _, name := range []string{"SMT", "TME", "REC", "REC/RU", "REC/RS", "REC/RS/RU"} {
+		f, _ := PresetByName(name)
+		if err := f.Validate(); err != nil {
+			t.Errorf("preset %s rejected: %v", name, err)
 		}
+	}
+	trust := RECRSRU
+	trust.TrustTrace = true
+	watchdogged := RECRSRU
+	watchdogged.WatchdogCycles = 1 << 20
+	watchdogOff := RECRSRU
+	watchdogOff.WatchdogCycles = WatchdogOff
+	for _, f := range []Features{trust, watchdogged, watchdogOff} {
+		if err := f.Validate(); err != nil {
+			t.Errorf("valid features %+v rejected: %v", f, err)
+		}
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(f *Features)
+		want   string
+	}{
+		{"unknown alt policy", func(f *Features) { f.AltPolicy = AltPolicy(7) }, "alternate-path policy"},
+		{"negative alt limit", func(f *Features) { f.AltLimit = -8 }, "negative alternate-path limit"},
+		{"TME without alt limit", func(f *Features) { f.AltLimit = 0 }, "non-positive AltLimit"},
+		{"recycle without TME", func(f *Features) { f.TME = false; f.AltLimit = 0 }, "Recycle requires TME"},
+		{"reuse without recycle", func(f *Features) { f.Recycle = false; f.Respawn = false }, "Reuse requires Recycle"},
+		{"respawn without recycle", func(f *Features) { f.Recycle = false; f.Reuse = false }, "Respawn requires Recycle"},
+		{"trust-trace without recycle", func(f *Features) { *f = TME; f.TrustTrace = true }, "TrustTrace requires Recycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := RECRSRU
+			tc.mutate(&f)
+			err := f.Validate()
+			if err == nil {
+				t.Fatal("bad features validated")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }
 

@@ -99,6 +99,19 @@ type Core struct {
 	// siminvariant build-tag default at construction).
 	invariantEvery uint64
 
+	// watchdogCycles, when non-zero, is the forward-progress window:
+	// Run fails with a *LivelockError after this many consecutive
+	// cycles without a commit (resolved from Features.WatchdogCycles
+	// at construction; config.WatchdogOff disables it).
+	watchdogCycles uint64
+
+	// poll, when non-nil, is consulted every pollEvery cycles by Run; a
+	// non-nil return stops the run with that error and partial
+	// statistics.  The cadence is counted in simulated cycles, so an
+	// unfired poll cannot perturb determinism.
+	poll      func() error
+	pollEvery uint64
+
 	Stats *stats.Sim
 
 	// Obs accumulates the run's telemetry: the rename slot-cycle
@@ -148,8 +161,8 @@ func New(mach config.Machine, feat config.Features, progs []*program.Program) (*
 	if len(progs) > mach.Contexts {
 		return nil, fmt.Errorf("core: %d programs exceed %d contexts", len(progs), mach.Contexts)
 	}
-	if feat.TME && feat.AltLimit <= 0 {
-		return nil, fmt.Errorf("core: TME enabled with non-positive AltLimit")
+	if err := feat.Validate(); err != nil {
+		return nil, err
 	}
 
 	intRegs := isa.NumIntRegs*mach.Contexts + mach.ExtraRegs
@@ -177,6 +190,12 @@ func New(mach config.Machine, feat config.Features, progs []*program.Program) (*
 	c.invariantEvery = feat.InvariantEvery
 	if c.invariantEvery == 0 {
 		c.invariantEvery = defaultInvariantEvery
+	}
+	c.watchdogCycles = feat.WatchdogCycles
+	if c.watchdogCycles == 0 {
+		c.watchdogCycles = defaultWatchdogCycles
+	} else if c.watchdogCycles == config.WatchdogOff {
+		c.watchdogCycles = 0
 	}
 
 	for i := 0; i < mach.Contexts; i++ {
@@ -255,13 +274,51 @@ func (c *Core) Cycle() {
 
 // Run simulates until maxCommits instructions have committed in total,
 // every program has halted, or maxCycles elapses.  It returns the
-// accumulated statistics.
-func (c *Core) Run(maxCommits, maxCycles uint64) *stats.Sim {
+// accumulated statistics; the statistics are valid (partial) even when
+// the error is non-nil.
+//
+// Two fault paths can cut the run short.  The forward-progress
+// watchdog (Features.WatchdogCycles) returns a *LivelockError when no
+// instruction commits for a full window while programs are still live,
+// so a model bug that livelocks a context fails fast with a diagnosis
+// instead of silently burning cycles until maxCycles.  The poll hook
+// (SetPoll) stops the run with the hook's error, the mechanism behind
+// cooperative cancellation.  Both checks are counted in simulated
+// cycles — no wall clock — and touch nothing on the per-instruction
+// hot path, so a run they do not stop is byte-identical to one without
+// them.
+func (c *Core) Run(maxCommits, maxCycles uint64) (*stats.Sim, error) {
+	lastCommitted := c.Stats.Committed
+	lastProgress := c.cycle
 	for c.Stats.Committed < maxCommits && c.cycle < maxCycles &&
 		c.haltedPrograms < len(c.progs) {
 		c.Cycle()
+		if c.watchdogCycles != 0 {
+			if c.Stats.Committed != lastCommitted {
+				lastCommitted = c.Stats.Committed
+				lastProgress = c.cycle
+			} else if c.cycle-lastProgress >= c.watchdogCycles {
+				return c.Stats, c.livelockError(c.cycle - lastProgress)
+			}
+		}
+		if c.poll != nil && c.cycle%c.pollEvery == 0 {
+			if err := c.poll(); err != nil {
+				return c.Stats, err
+			}
+		}
 	}
-	return c.Stats
+	return c.Stats, nil
+}
+
+// SetPoll installs a cancellation hook consulted every `every` cycles
+// during Run (every <= 0 selects the default cadence).  Install before
+// the run; passing nil detaches the hook.
+func (c *Core) SetPoll(every uint64, poll func() error) {
+	if every == 0 {
+		every = defaultPollEvery
+	}
+	c.poll = poll
+	c.pollEvery = every
 }
 
 // CycleCount returns the cycles simulated so far.

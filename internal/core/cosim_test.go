@@ -52,7 +52,9 @@ func cosim(t *testing.T, mach config.Machine, feat config.Features, progs []*pro
 			fail("taken", ref.Taken, ci.Taken)
 		}
 	}
-	c.Run(maxInsts, 40*maxInsts+10_000)
+	if _, err := c.Run(maxInsts, 40*maxInsts+10_000); err != nil {
+		t.Fatalf("%s/%s: %v", mach.Name, config.FeatureName(feat), err)
+	}
 	if c.Stats.Committed == 0 {
 		t.Fatalf("%s/%s: nothing committed in %d cycles",
 			mach.Name, config.FeatureName(feat), c.CycleCount())
@@ -179,7 +181,10 @@ func TestDeterminism(t *testing.T) {
 			fmt.Fprintf(&commits, "p%d c%d pc=%x %v res=%x addr=%x taken=%t reused=%t\n",
 				ci.Program, ci.Ctx, ci.PC, ci.Inst, ci.Result, ci.Addr, ci.Taken, ci.Reused)
 		}
-		s := c.Run(maxInsts, 40*maxInsts+10_000)
+		s, err := c.Run(maxInsts, 40*maxInsts+10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return fmt.Sprintf("%+v", *s), commits.String()
 	}
 	cases := []struct {

@@ -32,7 +32,10 @@
 package recyclesim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 
 	"recyclesim/internal/config"
@@ -62,6 +65,10 @@ const (
 	AltFetch  = config.AltFetch
 	AltNoStop = config.AltNoStop
 )
+
+// WatchdogOff disables the forward-progress watchdog when assigned to
+// Features.WatchdogCycles (zero selects the default window instead).
+const WatchdogOff = config.WatchdogOff
 
 // Result carries the statistics of one simulation run.
 type Result = stats.Sim
@@ -225,10 +232,58 @@ type Options struct {
 	// simulator state, so the hook may hand them to other goroutines.
 	SnapshotHook  func(*Snapshot)
 	SnapshotEvery uint64
+
+	// Context, when non-nil, is polled for cancellation every
+	// PollEveryCycles simulated cycles; when it reports done, the run
+	// stops at that cycle boundary and returns the partial Result plus
+	// a *SimError wrapping ErrCanceled or ErrDeadline.  RunContext sets
+	// this field; set it directly only when threading Options through
+	// code that cannot change call signatures.
+	Context context.Context
+
+	// PollEveryCycles is the cancellation-poll cadence in simulated
+	// cycles (default 4096).  The cadence is counted in cycles, not
+	// wall time, so enabling cancellation never perturbs simulation
+	// results — an uncancelled run is byte-identical with or without a
+	// context attached.
+	PollEveryCycles uint64
+
+	// CrashDir, when non-empty, persists a plain-text crash bundle
+	// (config, partial stats, machine dump, flight-recorder and
+	// pipetrace tails, panic stack) for every run that fails with
+	// ErrPanic or ErrLivelock.  The SimError's BundlePath records where
+	// it landed.
+	CrashDir string
+
+	// hookCore, when non-nil, observes the constructed core after all
+	// hooks are attached and before the first cycle.  Test-only fault
+	// injection surface; deliberately unexported.
+	hookCore func(*core.Core)
 }
 
 // Run executes one simulation and returns its statistics.
+//
+// On failure the error is a *SimError classifying the fault — match
+// with errors.Is against ErrCanceled, ErrDeadline, ErrLivelock,
+// ErrPanic.  For clean stops (cancellation, deadline, livelock) the
+// partial Result is returned alongside the error and telemetry is
+// still accumulated; after a contained panic the Result is nil and
+// telemetry is discarded, because mid-cycle state cannot be trusted.
 func Run(o Options) (*Result, error) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return RunContext(ctx, o)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation
+// polls ctx every Options.PollEveryCycles simulated cycles (default
+// 4096) and stops early — returning the partial Result and a
+// *SimError wrapping ErrCanceled or ErrDeadline — when the context is
+// done.  Polling is cycle-counted, so an uncancelled run commits the
+// identical instruction stream with or without a context.
+func RunContext(ctx context.Context, o Options) (*Result, error) {
 	progs := o.Programs
 	if len(progs) == 0 {
 		if len(o.Workloads) == 0 {
@@ -245,6 +300,12 @@ func Run(o Options) (*Result, error) {
 	}
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 4 * o.MaxInsts
+	}
+	if err := o.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.Features.Validate(); err != nil {
+		return nil, err
 	}
 	c, err := core.New(o.Machine, o.Features, progs)
 	if err != nil {
@@ -273,14 +334,79 @@ func Run(o Options) (*Result, error) {
 	}
 	c.SetRing(o.FlightRecorder)
 	c.SetPipeTrace(o.PipeTrace)
-	res := c.Run(o.MaxInsts, o.MaxCycles)
-	if o.Telemetry != nil {
-		o.Telemetry.Add(c.Obs)
+	// Poll the RunContext argument and, when distinct, the per-option
+	// context too (a batch-level cancel and a per-job cancel must both
+	// reach the run).
+	var polls []func() error
+	if ctx != nil && ctx.Done() != nil {
+		polls = append(polls, ctx.Err)
 	}
-	if o.SnapshotHook != nil {
-		o.SnapshotHook(coreSnapshot(c))
+	if o.Context != nil && o.Context != ctx && o.Context.Done() != nil {
+		polls = append(polls, o.Context.Err)
 	}
-	return res, nil
+	switch len(polls) {
+	case 1:
+		c.SetPoll(o.PollEveryCycles, polls[0])
+	case 2:
+		first, second := polls[0], polls[1]
+		c.SetPoll(o.PollEveryCycles, func() error {
+			if err := first(); err != nil {
+				return err
+			}
+			return second()
+		})
+	}
+	if o.hookCore != nil {
+		o.hookCore(c)
+	}
+
+	res, runErr, panicVal, stack := runCore(c, o.MaxInsts, o.MaxCycles)
+	if runErr == nil && panicVal == nil {
+		if o.Telemetry != nil {
+			o.Telemetry.Add(c.Obs)
+		}
+		if o.SnapshotHook != nil {
+			o.SnapshotHook(coreSnapshot(c))
+		}
+		return res, nil
+	}
+
+	se := simError(c, o, runErr, panicVal, stack)
+	if panicVal != nil {
+		// Mid-cycle state: statistics and telemetry may violate their
+		// conservation identities, so neither escapes.
+		res = nil
+	} else {
+		// Clean stop at a cycle boundary: the partial statistics and
+		// telemetry are internally consistent and worth keeping.
+		if o.Telemetry != nil {
+			o.Telemetry.Add(c.Obs)
+		}
+		if o.SnapshotHook != nil {
+			o.SnapshotHook(coreSnapshot(c))
+		}
+	}
+	if o.CrashDir != "" && (errors.Is(se.Kind, ErrPanic) || errors.Is(se.Kind, ErrLivelock)) {
+		if path, werr := writeCrashBundle(o.CrashDir, o, se, res); werr == nil {
+			se.BundlePath = path
+		}
+	}
+	return res, se
+}
+
+// runCore drives the core with panic containment: a panic anywhere in
+// the cycle loop — simulator bug, invariant-checker fire, user hook —
+// is recovered here with its stack, instead of unwinding through the
+// caller (and, under RunBatch, killing the whole process from a
+// worker goroutine).
+func runCore(c *core.Core, maxInsts, maxCycles uint64) (res *Result, err error, panicVal any, stack []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicVal, stack = r, debug.Stack()
+		}
+	}()
+	res, err = c.Run(maxInsts, maxCycles)
+	return res, err, nil, nil
 }
 
 // coreSnapshot deep-copies the statistics and telemetry a snapshot
@@ -293,6 +419,19 @@ func coreSnapshot(c *core.Core) *Snapshot {
 	return &Snapshot{Stats: &st, Metrics: &m}
 }
 
+// BatchConfig tunes RunBatchContext.
+type BatchConfig struct {
+	// Workers sizes the pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Retries is the number of extra attempts given to a failed job
+	// before its error is recorded.  Cancellation and deadline
+	// failures are never retried — the whole batch is going down.
+	// Deterministic faults (a livelock, a simulator panic) will fail
+	// identically on retry; the knob exists for user hooks with
+	// external effects.
+	Retries int
+}
+
 // RunBatch executes the given simulations concurrently on a worker
 // pool (workers <= 0 selects GOMAXPROCS) and returns their results in
 // input order: results[i] belongs to opts[i].
@@ -302,21 +441,55 @@ func coreSnapshot(c *core.Core) *Snapshot {
 // simulations, which share no mutable state — so the results are
 // byte-identical to a serial loop over Run (the determinism test in
 // batch_test.go holds this to the commit stream, not just the stats).
-// On error, results[i] is nil for the failed entries and the first
-// error in input order is returned; the remaining simulations still
-// run.
+//
+// Faults are contained per job: a panic or livelock in opts[i] costs
+// only results[i]; every other simulation still runs to completion.
+// The returned error is the errors.Join of every failure, each
+// wrapped as "batch job i (fingerprint): ..." so errors map back to
+// their input index; match individual causes with errors.Is /
+// errors.As against the package sentinels.  results[i] is nil when
+// job i produced no usable state (configuration error, panic) and
+// holds the partial statistics when it stopped cleanly mid-run
+// (cancellation, livelock) — pair it with the error list before
+// trusting it.
 func RunBatch(opts []Options, workers int) ([]*Result, error) {
+	return RunBatchContext(context.Background(), opts, BatchConfig{Workers: workers})
+}
+
+// RunBatchContext is RunBatch with cooperative cancellation and
+// per-job retry.  Canceling ctx stops every in-flight simulation at
+// its next poll (each reporting ErrCanceled with partial results) and
+// prevents queued jobs from starting.
+func RunBatchContext(ctx context.Context, opts []Options, cfg BatchConfig) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]*Result, len(opts))
 	errs := make([]error, len(opts))
-	sweep.Run(len(opts), workers, func(i int) {
-		results[i], errs[i] = Run(opts[i])
+	sweep.Run(len(opts), cfg.Workers, func(i int) {
+		for attempt := 0; ; attempt++ {
+			if cerr := ctx.Err(); cerr != nil {
+				kind := ErrCanceled
+				if errors.Is(cerr, context.DeadlineExceeded) {
+					kind = ErrDeadline
+				}
+				results[i], errs[i] = nil, &SimError{Kind: kind, Err: cerr, Fingerprint: fingerprint(opts[i])}
+				return
+			}
+			results[i], errs[i] = RunContext(ctx, opts[i])
+			if errs[i] == nil || attempt >= cfg.Retries ||
+				errors.Is(errs[i], ErrCanceled) || errors.Is(errs[i], ErrDeadline) {
+				return
+			}
+		}
 	})
-	for _, err := range errs {
+	var joined []error
+	for i, err := range errs {
 		if err != nil {
-			return results, err
+			joined = append(joined, fmt.Errorf("batch job %d (%s): %w", i, fingerprint(opts[i]), err))
 		}
 	}
-	return results, nil
+	return results, errors.Join(joined...)
 }
 
 // NewCore builds a core directly for callers that need cycle-stepping,
