@@ -72,6 +72,25 @@ func TestRunExitCodes(t *testing.T) {
 			want:    2,
 			wantErr: "no go.mod",
 		},
+		{
+			name:    "json findings",
+			args:    []string{"-json", "-rules", "floatcmp", fixtureDir},
+			want:    1,
+			wantOut: `"rule": "floatcmp"`,
+			wantErr: "finding(s)",
+		},
+		{
+			name:    "write-baseline requires baseline",
+			args:    []string{"-write-baseline", fixtureDir},
+			want:    2,
+			wantErr: "-write-baseline requires -baseline",
+		},
+		{
+			name:    "missing baseline file",
+			args:    []string{"-baseline", filepath.Join(os.TempDir(), "recyclelint-no-such-baseline"), fixtureDir},
+			want:    2,
+			wantErr: "no such file",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -91,5 +110,53 @@ func TestRunExitCodes(t *testing.T) {
 				t.Errorf("stdout unexpectedly contains %q:\n%s", tc.absentOut, stdout.String())
 			}
 		})
+	}
+}
+
+// TestBaselineRoundTrip drives the landing-strict workflow end to end:
+// record the fixture's findings into a baseline, verify the same run
+// then exits clean, and verify the baseline only covers what it
+// recorded — a run producing findings outside it still fails.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+
+	var out, errw strings.Builder
+	if got := run([]string{"-baseline", base, "-write-baseline", fixtureDir}, &out, &errw); got != 0 {
+		t.Fatalf("write-baseline exited %d\nstderr:\n%s", got, errw.String())
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	if !strings.Contains(string(data), "determinism") {
+		t.Fatalf("baseline lacks recorded findings:\n%s", data)
+	}
+
+	out.Reset()
+	errw.Reset()
+	if got := run([]string{"-baseline", base, fixtureDir}, &out, &errw); got != 0 {
+		t.Errorf("baselined run exited %d, want 0\nstdout:\n%s\nstderr:\n%s", got, out.String(), errw.String())
+	}
+	if strings.Contains(out.String(), "[") {
+		t.Errorf("baselined run still printed findings:\n%s", out.String())
+	}
+
+	// A baseline recorded for one rule must not swallow the others.
+	narrow := filepath.Join(t.TempDir(), "narrow.baseline")
+	out.Reset()
+	errw.Reset()
+	if got := run([]string{"-baseline", narrow, "-write-baseline", "-rules", "floatcmp", fixtureDir}, &out, &errw); got != 0 {
+		t.Fatalf("narrow write-baseline exited %d", got)
+	}
+	out.Reset()
+	errw.Reset()
+	if got := run([]string{"-baseline", narrow, fixtureDir}, &out, &errw); got != 1 {
+		t.Errorf("run with narrow baseline exited %d, want 1", got)
+	}
+	if strings.Contains(out.String(), "[floatcmp]") {
+		t.Errorf("narrow baseline failed to suppress its own findings:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "[determinism]") {
+		t.Errorf("narrow baseline unexpectedly suppressed other rules:\n%s", out.String())
 	}
 }

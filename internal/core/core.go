@@ -256,6 +256,13 @@ func (c *Core) startPrimary(t *Context, entry uint64) {
 // pipeline order so same-cycle effects flow naturally: results written
 // back this cycle can wake instructions issuing this cycle, and
 // redirects apply to the following fetch.
+//
+// The doc directive below marks this as the root of the steady-state
+// allocation budget: the hotalloc analyzer verifies that Cycle and
+// everything it transitively calls (outside nil-guarded telemetry and
+// //recycle:coldpath failure handling) never allocates.
+//
+//recycle:hotpath
 func (c *Core) Cycle() {
 	c.cycle++
 	c.fus.BeginCycle(c.cycle)

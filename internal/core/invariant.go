@@ -54,6 +54,12 @@ var defaultInvariantEvery uint64 = 0
 //     pipeline DAG — recycled ⇒ no fetch stage, reused ⇒ no
 //     queue/issue/writeback, squashed ⇔ not committed, stages in
 //     program order (see checkPipeTrace).
+//
+// The sweep allocates (reports, scratch maps); it runs from the cycle
+// loop only at the configured cadence, so it is declared off the
+// steady-state budget with //recycle:coldpath.
+//
+//recycle:coldpath
 func (c *Core) CheckInvariants() *invariant.Report {
 	r := invariant.NewReport(c.cycle)
 	c.checkRegfile(r)
@@ -367,7 +373,10 @@ func (c *Core) checkTelemetry(r *invariant.Report) {
 }
 
 // dumpState renders a cycle-stamped snapshot of the machine for the
-// invariant panic message.
+// invariant panic message.  Only a failing run reaches it
+// (//recycle:coldpath).
+//
+//recycle:coldpath
 func (c *Core) dumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "machine state at cycle %d:\n", c.cycle)

@@ -55,7 +55,10 @@ func (r *Report) Error() string {
 
 // MustOK panics with the violations and the supplied machine dump when
 // the sweep found anything.  dump is called lazily so a clean sweep
-// costs nothing.
+// costs nothing.  A failing sweep is already off the steady-state
+// budget, hence //recycle:coldpath.
+//
+//recycle:coldpath
 func (r *Report) MustOK(dump func() string) {
 	if r.OK() {
 		return

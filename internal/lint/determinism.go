@@ -136,24 +136,26 @@ func (d *Determinism) checkRange(pkg *Package, rng *ast.RangeStmt, diag func(tok
 	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 		return
 	}
-	if d.orderIndependent(pkg, rng) {
+	if mapRangeOrderIndependent(pkg.Info, rng) {
 		return
 	}
 	diag(rng.Pos(), "range over map %s: iteration order is randomized; sort the keys, or annotate if provably order-independent", types.TypeString(tv.Type, nil))
 }
 
-// orderIndependent recognizes the one shape the analyzer can prove safe
-// without annotation: a pure map-to-map copy, where every statement of
-// the body is `dst[k] = v`-style — a single assignment storing through
-// a map index whose key expression is exactly the range-key variable.
-// Distinct source keys then write distinct destination slots, so the
-// result cannot depend on visit order.
-func (d *Determinism) orderIndependent(pkg *Package, rng *ast.RangeStmt) bool {
+// mapRangeOrderIndependent recognizes the one map-range shape the
+// analyzers can prove safe without annotation: a pure map-to-map copy,
+// where every statement of the body is `dst[k] = v`-style — a single
+// assignment storing through a map index whose key expression is
+// exactly the range-key variable.  Distinct source keys then write
+// distinct destination slots, so the result cannot depend on visit
+// order.  Shared between the file-local determinism analyzer and the
+// transitive puresim analyzer.
+func mapRangeOrderIndependent(info *types.Info, rng *ast.RangeStmt) bool {
 	key, ok := rng.Key.(*ast.Ident)
 	if !ok || key.Name == "_" {
 		return false
 	}
-	keyObj := pkg.Info.Defs[key]
+	keyObj := info.Defs[key]
 	if keyObj == nil || len(rng.Body.List) == 0 {
 		return false
 	}
@@ -166,13 +168,13 @@ func (d *Determinism) orderIndependent(pkg *Package, rng *ast.RangeStmt) bool {
 		if !ok {
 			return false
 		}
-		if tv, ok := pkg.Info.Types[idx.X]; !ok {
+		if tv, ok := info.Types[idx.X]; !ok {
 			return false
 		} else if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			return false
 		}
 		keyIdent, ok := idx.Index.(*ast.Ident)
-		if !ok || pkg.Info.Uses[keyIdent] != keyObj {
+		if !ok || info.Uses[keyIdent] != keyObj {
 			return false
 		}
 	}

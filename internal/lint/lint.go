@@ -20,8 +20,12 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+
+	"recyclesim/internal/lint/callgraph"
 )
 
 // Diagnostic is one analyzer finding, anchored to a source position.
@@ -58,11 +62,31 @@ type Package struct {
 type Program struct {
 	Fset    *token.FileSet
 	ModPath string
+	ModRoot string
 	Pkgs    []*Package
 
 	// suppress maps filename -> line -> rule names ignored on that
 	// line (populated from //simlint:ignore comments).
 	suppress map[string]map[int]map[string]bool
+
+	// cg memoizes the whole-program call graph shared by the
+	// transitive analyzers (puresim, hotalloc).
+	cg *callgraph.Graph
+}
+
+// Callgraph builds (once) and returns the approximate whole-program
+// call graph over the loaded packages.
+func (p *Program) Callgraph() *callgraph.Graph {
+	if p.cg == nil {
+		pkgs := make([]*callgraph.Pkg, 0, len(p.Pkgs))
+		for _, pkg := range p.Pkgs {
+			pkgs = append(pkgs, &callgraph.Pkg{
+				Path: pkg.Path, Types: pkg.Pkg, Info: pkg.Info, Files: pkg.Files,
+			})
+		}
+		p.cg = callgraph.Build(pkgs)
+	}
+	return p.cg
 }
 
 // Lookup returns the loaded package with the given import path.
@@ -168,29 +192,61 @@ func Run(prog *Program, analyzers []Analyzer) []Diagnostic {
 	return out
 }
 
-// SimPackages lists the module-relative package paths whose code runs
-// during (or feeds) a simulation and therefore must be deterministic.
-// The host-side tooling (cmd/*, examples/*) is exempt.
-var SimPackages = []string{
-	"internal/alist",
-	"internal/asm",
-	"internal/bpred",
-	"internal/cache",
-	"internal/confidence",
-	"internal/core",
-	"internal/emu",
-	"internal/fu",
-	"internal/iq",
-	"internal/isa",
-	"internal/obs",
-	"internal/obs/pipetrace",
-	"internal/program",
-	"internal/recycle",
-	"internal/regfile",
-	"internal/stats",
-	"internal/sweep",
-	"internal/wheel",
-	"internal/workload",
+// NonSimPackages is the explicit opt-out list: module-relative package
+// paths under internal/ that are host-side tooling rather than
+// simulation code, and therefore exempt from the per-package simulator
+// scope (determinism, floatcmp, traceguard).  Everything else under
+// internal/ is in scope *by discovery* (see SimPackages), so a newly
+// added package is linted by default instead of silently skipped.
+// The whole-program analyzers (puresim, hotalloc, atomicplain) ignore
+// this list: they reason from entry points and annotations over every
+// loaded package, including cmd/* and the module root.
+var NonSimPackages = []string{
+	"internal/lint",           // the analysis engine itself (walks dirs, maps)
+	"internal/lint/callgraph", // ditto
+	"internal/obs/server",     // live observability: wall clock + goroutines by design
+}
+
+// SimPackages discovers the module-relative package paths whose code
+// runs during (or feeds) a simulation and therefore must be
+// deterministic: every directory under internal/ holding non-test Go
+// files, minus the NonSimPackages opt-outs.  The host-side tooling
+// (cmd/*, examples/*, the module root) is exempt from the per-package
+// scope but still covered by the whole-program analyzers.
+func SimPackages(modRoot string) []string {
+	var out []string
+	root := filepath.Join(modRoot, "internal")
+	_ = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(modRoot, filepath.Dir(path))
+		if err != nil {
+			return nil
+		}
+		pkg := filepath.ToSlash(rel)
+		for _, skip := range NonSimPackages {
+			if pkg == skip {
+				return nil
+			}
+		}
+		if len(out) == 0 || out[len(out)-1] != pkg {
+			out = append(out, pkg)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out
 }
 
 // ConcurrencyAllowed lists the module-relative simulator packages
@@ -218,29 +274,53 @@ func ConcurrencyScope(modPath string) func(pkgPath string) bool {
 	}
 }
 
-// DefaultScope reports whether a package import path is one of the
-// module's simulator packages.
-func DefaultScope(modPath string) func(pkgPath string) bool {
-	return func(pkgPath string) bool {
-		for _, s := range SimPackages {
-			if pkgPath == modPath+"/"+s {
-				return true
-			}
-		}
-		return false
+// ScopeFor builds a scope predicate from an explicit package list.
+func ScopeFor(modPath string, pkgs []string) func(pkgPath string) bool {
+	set := make(map[string]bool, len(pkgs))
+	for _, s := range pkgs {
+		set[modPath+"/"+s] = true
 	}
+	return func(pkgPath string) bool { return set[pkgPath] }
+}
+
+// DefaultScope reports whether a package import path is one of the
+// module's simulator packages, discovered by walking internal/ under
+// the module root.
+func DefaultScope(modPath, modRoot string) func(pkgPath string) bool {
+	return ScopeFor(modPath, SimPackages(modRoot))
 }
 
 // AllScope includes every loaded package; the analyzer tests use it on
 // fixture modules.
 func AllScope(string) bool { return true }
 
+// PureSimRoots names the simulation entry points, as callgraph FuncIDs
+// relative to the module path: everything transitively reachable from
+// these must stay deterministic.
+var PureSimRoots = []string{
+	"internal/core.(Core).Run",
+	"internal/core.(Core).RunContext",
+	"internal/core.(Core).Cycle",
+	".Run",
+	".RunContext",
+	".RunBatch",
+	".RunBatchContext",
+}
+
 // Default returns the full analyzer suite with the canonical scopes for
-// the given module path.
-func Default(modPath string) []Analyzer {
-	scope := DefaultScope(modPath)
+// the loaded program.
+func Default(prog *Program) []Analyzer {
+	modPath := prog.ModPath
+	scope := DefaultScope(modPath, prog.ModRoot)
 	det := NewDeterminism(scope)
 	det.ConcurrencyOK = ConcurrencyScope(modPath)
+	roots := make([]string, len(PureSimRoots))
+	for i, r := range PureSimRoots {
+		roots[i] = modPath + r
+		if !strings.HasPrefix(r, ".") {
+			roots[i] = modPath + "/" + r
+		}
+	}
 	return []Analyzer{
 		det,
 		NewFloatCmp(scope),
@@ -253,5 +333,8 @@ func Default(modPath string) []Analyzer {
 			{RecvType: modPath + "/internal/core.Core", Method: "pipeTrace", GuardField: "ptrace"},
 			{RecvType: modPath + "/internal/obs/pipetrace.Recorder", Method: "*"},
 		}),
+		NewPureSim(roots, ConcurrencyScope(modPath)),
+		NewHotAlloc(),
+		NewAtomicPlain(),
 	}
 }

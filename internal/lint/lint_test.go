@@ -88,7 +88,7 @@ func diagKeys(diags []Diagnostic) []string {
 // including the suppressed site).
 func TestAnalyzersOnFixture(t *testing.T) {
 	prog := loadFixture(t)
-	got := diagKeys(Run(prog, Default("fixture")))
+	got := diagKeys(Run(prog, Default(prog)))
 	want := markers(t, "want")
 	if !equal(got, want) {
 		t.Errorf("diagnostic mismatch\n got: %s\nwant: %s", strings.Join(got, "\n      "), strings.Join(want, "\n      "))
@@ -100,7 +100,7 @@ func TestAnalyzersOnFixture(t *testing.T) {
 // lean on another analyzer's findings to pass the combined test.
 func TestAnalyzersIndividually(t *testing.T) {
 	prog := loadFixture(t)
-	for _, a := range Default("fixture") {
+	for _, a := range Default(prog) {
 		t.Run(a.Name(), func(t *testing.T) {
 			var want []string
 			for _, k := range markers(t, "want") {
@@ -116,19 +116,25 @@ func TestAnalyzersIndividually(t *testing.T) {
 	}
 }
 
-// TestSuppression checks the ignore-directive machinery itself: the
-// checked: marker site must be reported by the raw analyzer and
-// filtered by Run.
+// TestSuppression checks the ignore-directive machinery itself: every
+// checked: marker site must be reported by the raw analyzer that owns
+// its rule and filtered by Run.  The hotpath fixture carries one
+// directive naming two rules (determinism and hotalloc), so this also
+// covers multi-rule `//simlint:ignore a b` directives.
 func TestSuppression(t *testing.T) {
 	prog := loadFixture(t)
 	suppressed := markers(t, "checked")
-	raw := diagKeys(NewDeterminism(DefaultScope("fixture")).Check(prog))
+	var raw []Diagnostic
+	for _, a := range Default(prog) {
+		raw = append(raw, a.Check(prog)...)
+	}
+	rawKeys := diagKeys(raw)
 	for _, want := range suppressed {
-		if !contains(raw, want) {
-			t.Errorf("raw Check missed suppressed site %s; got %v", want, raw)
+		if !contains(rawKeys, want) {
+			t.Errorf("raw Check missed suppressed site %s; got %v", want, rawKeys)
 		}
 	}
-	filtered := diagKeys(Run(prog, Default("fixture")))
+	filtered := diagKeys(Run(prog, Default(prog)))
 	for _, want := range suppressed {
 		if contains(filtered, want) {
 			t.Errorf("Run failed to suppress %s despite simlint:ignore directive", want)
@@ -147,7 +153,7 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	if diags := Run(prog, Default(prog.ModPath)); len(diags) > 0 {
+	if diags := Run(prog, Default(prog)); len(diags) > 0 {
 		msgs := make([]string, len(diags))
 		for i, d := range diags {
 			msgs[i] = d.String()

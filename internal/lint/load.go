@@ -36,7 +36,7 @@ func Load(dir string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog := &Program{Fset: fset, ModPath: modPath}
+	prog := &Program{Fset: fset, ModPath: modPath, ModRoot: root}
 	for _, d := range dirs {
 		path := modPath
 		if rel, _ := filepath.Rel(root, d); rel != "." {

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"recyclesim/internal/lint/callgraph"
+)
+
+// PureSim is the transitive determinism analyzer: everything reachable
+// from the simulation entry points (core.Run/RunContext/Cycle and the
+// facade Run functions) must stay pure — no wall-clock reads, no
+// global math/rand source, no environment reads, no goroutine spawns
+// outside the explicit parallelism boundary, and no order-dependent
+// map ranges.
+//
+// It complements the per-package determinism analyzer: that one scopes
+// by package list and sees one file at a time, so impurity reachable
+// *through* an out-of-scope package (cmd/ helpers, the module root
+// facade, an opted-out telemetry package) escapes it.  PureSim reasons
+// from entry points over the whole-program call graph instead, and its
+// diagnostics carry the call chain that makes the impurity reachable.
+//
+// Soundness boundary (see internal/lint/callgraph): calls through
+// struct fields of function type and callbacks injected from outside
+// the module are not resolved, so code reachable only that way escapes
+// the analysis — the runtime determinism witnesses remain the backstop.
+type PureSim struct {
+	// Roots are callgraph FuncIDs of the simulation entry points.
+	// Missing roots are skipped (the fixture module has no facade), but
+	// if none resolves the analyzer reports that rather than silently
+	// passing.
+	Roots []string
+	// ConcurrencyOK exempts a package from the goroutine rule (the
+	// internal/sweep allowlist); all other purity rules still apply.
+	ConcurrencyOK func(pkgPath string) bool
+}
+
+// NewPureSim builds the analyzer.
+func NewPureSim(roots []string, concurrencyOK func(string) bool) *PureSim {
+	return &PureSim{Roots: roots, ConcurrencyOK: concurrencyOK}
+}
+
+// Name implements Analyzer.
+func (*PureSim) Name() string { return "puresim" }
+
+// Doc implements Analyzer.
+func (*PureSim) Doc() string {
+	return "flags wall-clock, global RNG, environment reads, stray goroutines, and map-order dependence transitively reachable from simulation entry points"
+}
+
+// envFuncs are the os-package functions that read ambient process
+// state a simulation result must never depend on.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Hostname": true,
+	"Getpid": true, "UserHomeDir": true, "UserCacheDir": true, "UserConfigDir": true,
+}
+
+// Check implements Analyzer.
+func (ps *PureSim) Check(prog *Program) []Diagnostic {
+	g := prog.Callgraph()
+	var roots []*callgraph.Node
+	for _, id := range ps.Roots {
+		if n := g.Lookup(id); n != nil {
+			roots = append(roots, n)
+		}
+	}
+	var out []Diagnostic
+	if len(roots) == 0 {
+		out = append(out, Diagnostic{
+			Pos: prog.Position(token.NoPos), Rule: ps.Name(),
+			Msg: sprintf("no simulation entry point resolved from %v; the analyzer would silently pass", ps.Roots),
+		})
+		return out
+	}
+	// Purity must hold on guarded (optional-telemetry) paths too, so
+	// every edge is followed.
+	reach := g.Reach(roots, nil)
+	for _, n := range g.Nodes {
+		st := reach[n]
+		if st == nil {
+			continue
+		}
+		chain := st.Chain(prog.ModPath)
+		diag := func(pos token.Pos, format string, args ...interface{}) {
+			out = append(out, Diagnostic{
+				Pos: prog.Position(pos), Rule: ps.Name(),
+				Msg: sprintf(format, args...) + " (reachable via " + chain + ")",
+			})
+		}
+		ps.checkNode(n, diag)
+	}
+	return out
+}
+
+// checkNode inspects one reachable function: its external uses for
+// clock/RNG/env reads, and its own body (literals excluded — they are
+// their own nodes) for goroutine spawns and map ranges.
+func (ps *PureSim) checkNode(n *callgraph.Node, diag func(token.Pos, string, ...interface{})) {
+	for _, ext := range n.Ext {
+		switch ext.PkgPath {
+		case "time":
+			if !ext.Method && timeFuncs[ext.Name] {
+				diag(ext.Pos, "time.%s reads the wall clock; simulated time is the cycle counter", ext.Name)
+			}
+		case "math/rand", "math/rand/v2":
+			if !ext.Method && !randConstructors[ext.Name] {
+				diag(ext.Pos, "rand.%s uses the global random source; use a seeded rand.New(rand.NewSource(...))", ext.Name)
+			}
+		case "os":
+			if !ext.Method && envFuncs[ext.Name] {
+				diag(ext.Pos, "os.%s reads ambient process state", ext.Name)
+			}
+		}
+	}
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	concOK := ps.ConcurrencyOK != nil && ps.ConcurrencyOK(n.Pkg.Path)
+	inspectOwn(body, func(x ast.Node) {
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			if !concOK {
+				diag(x.Pos(), "go statement outside the parallelism allowlist: scheduling order is nondeterministic")
+			}
+		case *ast.RangeStmt:
+			tv, ok := n.Pkg.Info.Types[x.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if mapRangeOrderIndependent(n.Pkg.Info, x) {
+				return
+			}
+			diag(x.Pos(), "range over map %s: iteration order is randomized", types.TypeString(tv.Type, nil))
+		}
+	})
+}
+
+// inspectOwn walks a function body without descending into nested
+// function literals, which are separate call-graph nodes and inspect
+// themselves.
+func inspectOwn(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			visit(x)
+		}
+		return true
+	})
+}

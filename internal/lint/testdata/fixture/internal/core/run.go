@@ -1,0 +1,22 @@
+package core
+
+import (
+	"fixture/internal/obs/server"
+	"fixture/internal/sweep"
+)
+
+// Run is the fixture's simulation entry point (see lint.PureSimRoots):
+// puresim walks everything reachable from here.  The sweep fan-out
+// sits on the concurrency allowlist and must not be flagged; the
+// server call reaches the opted-out package whose impurity must be —
+// every finding it causes is marked in server.go, not here.
+func (c *Core) Run(n int) int {
+	c.cycle++
+	out := make([]int, n)
+	sweep.Fan(n, func(i int) { out[i] = i })
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	return total + server.Stamp(map[string]int{"a": 1})
+}

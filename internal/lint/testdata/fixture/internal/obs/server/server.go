@@ -1,0 +1,28 @@
+// Package server mirrors the real module's live-observability server:
+// it sits under internal/ but on the lint.NonSimPackages opt-out list,
+// so the per-package determinism rules skip it by design.  The puresim
+// analyzer must still flag every impurity below, because core.Run
+// reaches this package — exactly the hole the transitive analysis
+// exists to close (which is why these lines carry only puresim
+// markers, never determinism ones).
+package server
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp leaks ambient process state into whatever calls it.
+func Stamp(m map[string]int) int {
+	t := int(time.Now().Unix())  // want:puresim
+	if os.Getenv("SEED") != "" { // want:puresim
+		t += rand.Int() // want:puresim
+	}
+	go func() { _ = t }() // want:puresim
+	total := 0
+	for _, v := range m { // want:puresim
+		total += v
+	}
+	return total + t
+}

@@ -1,0 +1,27 @@
+package sweep
+
+import "sync/atomic"
+
+// Progress mirrors the raw-atomic counter pattern atomicplain guards:
+// once a field is touched through sync/atomic anywhere in the program,
+// every access to it must be atomic.  The sync/atomic import itself is
+// fine here — this package sits on the concurrency allowlist.
+type Progress struct {
+	done  int64
+	total int64 // plain-only field: never atomic, never flagged
+}
+
+// Inc and Done are the sanctioned atomic accesses.
+func (p *Progress) Inc() { atomic.AddInt64(&p.done, 1) }
+
+// Done reports the completed count.
+func (p *Progress) Done() int64 { return atomic.LoadInt64(&p.done) }
+
+// Racy mixes plain accesses with the atomic ones above.
+func (p *Progress) Racy() int64 {
+	p.done = 0    // want:atomicplain
+	return p.done // want:atomicplain
+}
+
+// Remaining uses the plain-only field, which stays unflagged.
+func (p *Progress) Remaining() int64 { return p.total - p.Done() }

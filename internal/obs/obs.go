@@ -227,7 +227,11 @@ func NewRing(size int) *Ring {
 	return &Ring{buf: make([]Event, n), mask: uint64(n) - 1}
 }
 
-// Record appends one event, overwriting the oldest when full.
+// Record appends one event, overwriting the oldest when full.  It is
+// called from inside the cycle loop whenever a ring is attached, so it
+// is on the steady-state allocation budget (//recycle:hotpath).
+//
+//recycle:hotpath
 func (r *Ring) Record(e Event) {
 	r.buf[r.n&r.mask] = e
 	r.n++

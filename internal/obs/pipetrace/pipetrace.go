@@ -139,6 +139,14 @@ func New(cfg Config) *Recorder {
 // fetch queue, or 0 for recycle-injected instructions, which never
 // fetched.  The returned handle is 0 when the instruction is not
 // traced; the caller passes it to every later stage mark.
+//
+// Every stage-mark method below runs inside the cycle loop when a
+// recorder is attached, so each is on the steady-state allocation
+// budget (//recycle:hotpath); the append targets keep their
+// preallocated capacity, so a full recorder truncates instead of
+// growing.
+//
+//recycle:hotpath
 func (r *Recorder) OnRename(cycle uint64, ctx int, seq, pc uint64, in isa.Inst, fetchCycle uint64, recycled bool) Handle {
 	r.seen++
 	if n := r.cfg.SampleEvery; n > 1 && (r.seen-1)%n != 0 {
@@ -178,6 +186,8 @@ func (r *Recorder) rec(h Handle) *Record {
 }
 
 // OnQueue marks entry into an instruction queue (dispatch).
+//
+//recycle:hotpath
 func (r *Recorder) OnQueue(h Handle, cycle uint64) {
 	if rec := r.rec(h); rec != nil {
 		rec.Queue = cycle
@@ -186,6 +196,8 @@ func (r *Recorder) OnQueue(h Handle, cycle uint64) {
 
 // OnReuse marks the reuse bypass: the instruction adopted its old
 // result at rename and will never queue, issue, or write back.
+//
+//recycle:hotpath
 func (r *Recorder) OnReuse(h Handle, cycle uint64) {
 	if rec := r.rec(h); rec != nil {
 		rec.Reused = true
@@ -194,6 +206,8 @@ func (r *Recorder) OnReuse(h Handle, cycle uint64) {
 }
 
 // OnIssue marks issue to a functional unit (execution begins).
+//
+//recycle:hotpath
 func (r *Recorder) OnIssue(h Handle, cycle uint64) {
 	if rec := r.rec(h); rec != nil {
 		rec.Issue = cycle
@@ -201,6 +215,8 @@ func (r *Recorder) OnIssue(h Handle, cycle uint64) {
 }
 
 // OnWriteback marks result writeback (execution ends).
+//
+//recycle:hotpath
 func (r *Recorder) OnWriteback(h Handle, cycle uint64) {
 	if rec := r.rec(h); rec != nil {
 		rec.Writeback = cycle
@@ -208,6 +224,8 @@ func (r *Recorder) OnWriteback(h Handle, cycle uint64) {
 }
 
 // OnCommit marks in-order retirement.
+//
+//recycle:hotpath
 func (r *Recorder) OnCommit(h Handle, cycle uint64) {
 	if rec := r.rec(h); rec != nil {
 		rec.Committed = true
@@ -217,6 +235,8 @@ func (r *Recorder) OnCommit(h Handle, cycle uint64) {
 
 // OnSquash marks the instruction squashed (mispredict recovery, context
 // kill, or reclaim).
+//
+//recycle:hotpath
 func (r *Recorder) OnSquash(h Handle, cycle uint64) {
 	if rec := r.rec(h); rec != nil {
 		rec.Squashed = true
@@ -225,6 +245,8 @@ func (r *Recorder) OnSquash(h Handle, cycle uint64) {
 }
 
 // Instant records one lifecycle transition (fork, merge, respawn).
+//
+//recycle:hotpath
 func (r *Recorder) Instant(cycle uint64, stage obs.Stage, ctx int, pc, arg uint64) {
 	if len(r.inst) == cap(r.inst) {
 		r.truncInsts++

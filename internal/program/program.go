@@ -84,7 +84,7 @@ type Memory struct {
 // NewMemory creates a memory initialized from the program's data image.
 func NewMemory(p *Program) *Memory {
 	m := &Memory{words: make(map[uint64]uint64, len(p.Data)+64)}
-	//simlint:ignore determinism -- keys land in a map again; align maps distinct keys to distinct slots, so insertion order is immaterial
+	//simlint:ignore determinism puresim -- keys land in a map again; align maps distinct keys to distinct slots, so insertion order is immaterial
 	for a, v := range p.Data {
 		m.words[align(a)] = v
 	}
