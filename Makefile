@@ -14,10 +14,15 @@
 #   make invariant   cosim suite with the runtime invariant checker forced on
 #   make bench       benchmark suite; fails on >10% simInsts/s regression
 #                    vs the committed BENCH_simulator.json, then refreshes it
+#   make bench-smoke throughput benchmarks only (detailed + sampled), gated
+#                    against a scratch copy of the baseline with a loose
+#                    tolerance — a catastrophic-regression detector cheap
+#                    and noise-tolerant enough for shared CI runners; the
+#                    committed baseline is left untouched
 
 GO ?= go
 
-.PHONY: check fmt vet build lint test fuzz smoke invariant bench
+.PHONY: check fmt vet build lint test fuzz smoke invariant bench bench-smoke
 
 check: fmt vet build lint test fuzz smoke
 
@@ -55,3 +60,9 @@ invariant:
 
 bench:
 	$(GO) run ./cmd/benchgate
+
+bench-smoke:
+	@tmp="$$(mktemp)"; \
+	cp BENCH_simulator.json "$$tmp"; \
+	$(GO) run ./cmd/benchgate -bench 'SimulatorThroughput|SampledThroughput' -tolerance 0.6 -out "$$tmp"; \
+	status=$$?; rm -f "$$tmp"; exit $$status

@@ -153,6 +153,66 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSampledThroughput measures the effective speed of sampled
+// simulation: total simulated (emulated + detailed) instructions per
+// host second under the benchmark schedule.  Compare against
+// BenchmarkSimulatorThroughput's simInsts/s for the same preset and
+// workload — the ratio is the sampling speedup the gate tracks.
+func BenchmarkSampledThroughput(b *testing.B) {
+	for _, preset := range []string{"SMT", "REC/RS/RU"} {
+		b.Run(preset, func(b *testing.B) {
+			b.ReportAllocs()
+			insts := uint64(0)
+			var res *SampledResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = RunSampled(Options{
+					Machine:   MachineByName("big.2.16"),
+					Features:  PresetByName(preset),
+					Workloads: []string{"gcc"},
+					MaxInsts:  8_000_000,
+					Sampling:  &Sampling{Period: 400_000, IntervalLen: 1_000, WarmupLen: 1_000},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts += res.TotalInsts
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "simInsts/s")
+			b.ReportMetric(res.IPC, "IPC")
+		})
+	}
+}
+
+// BenchmarkSampledFigure3 regenerates the Figure 3 sweep in sampled
+// mode — the acceptance matrix of workloads and architectures — with
+// each cell reporting its estimated IPC.  Effective throughput is
+// gated by BenchmarkSampledThroughput's two long cells; single-shot
+// per-cell simInsts/s would be too noisy for a 10% gate.
+func BenchmarkSampledFigure3(b *testing.B) {
+	for _, bench := range Workloads() {
+		for _, preset := range []string{"SMT", "TME", "REC", "REC/RS", "REC/RS/RU"} {
+			b.Run(bench+"/"+preset, func(b *testing.B) {
+				var res *SampledResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = RunSampled(Options{
+						Machine:   MachineByName("big.2.16"),
+						Features:  PresetByName(preset),
+						Workloads: []string{bench},
+						MaxInsts:  1_000_000,
+						Sampling:  &Sampling{Period: 50_000, IntervalLen: 1_000, WarmupLen: 1_000},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.IPC, "IPC")
+			})
+		}
+	}
+}
+
 // BenchmarkPipetraceOverhead measures what per-instruction tracing
 // costs the cycle loop: the same REC/RS/RU run untraced, traced at
 // 1-in-64 sampling, and traced in full.  The untraced variant gates the

@@ -41,7 +41,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
-	bench := fs.String("bench", "SimulatorThroughput|PipetraceOverhead|Figure[3-6]|Table1", "benchmark regexp passed to go test")
+	bench := fs.String("bench", "SimulatorThroughput|PipetraceOverhead|Figure[3-6]|Table1|Sampled", "benchmark regexp passed to go test")
 	benchtime := fs.String("benchtime", "1x", "benchtime passed to go test")
 	out := fs.String("out", "BENCH_simulator.json", "baseline file to gate against and rewrite")
 	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional simInsts/s regression before failing")

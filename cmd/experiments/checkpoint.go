@@ -8,19 +8,24 @@ import (
 	"strings"
 	"sync"
 
+	"recyclesim"
 	"recyclesim/internal/obs"
 	"recyclesim/internal/stats"
 )
 
 // cellRecord is one completed simulation cell as persisted in the
 // checkpoint file: the cell's identity key plus its full statistics
-// and (when telemetry was collected) metrics.  Every field of both
-// payloads is integral, so the JSON round trip is exact and a resumed
-// sweep's output stays byte-identical to an uninterrupted one.
+// and (when telemetry was collected) metrics.  Sampled cells persist
+// the whole estimate instead (Go's JSON encoder emits the shortest
+// float64 representation that round-trips exactly), and their keys
+// carry the sampling schedule, so sampled and full cells of the same
+// configuration never collide in the journal.  A resumed sweep's
+// output stays byte-identical to an uninterrupted one.
 type cellRecord struct {
-	Key     string       `json:"key"`
-	Stats   *stats.Sim   `json:"stats"`
-	Metrics *obs.Metrics `json:"metrics,omitempty"`
+	Key     string                    `json:"key"`
+	Stats   *stats.Sim                `json:"stats,omitempty"`
+	Metrics *obs.Metrics              `json:"metrics,omitempty"`
+	Sampled *recyclesim.SampledResult `json:"sampled,omitempty"`
 }
 
 // checkpoint is an append-only JSONL journal of completed cells.  Load
@@ -60,8 +65,8 @@ func loadCheckpoint(path string) (*checkpoint, error) {
 				}
 				return nil, fmt.Errorf("%s:%d: %v", path, i+1, jerr)
 			}
-			if rec.Key == "" || rec.Stats == nil {
-				return nil, fmt.Errorf("%s:%d: record missing key or stats", path, i+1)
+			if rec.Key == "" || (rec.Stats == nil && rec.Sampled == nil) {
+				return nil, fmt.Errorf("%s:%d: record missing key or payload", path, i+1)
 			}
 			cp.done[rec.Key] = rec
 		}
@@ -94,6 +99,20 @@ func (cp *checkpoint) resumed() int {
 // only resumability of this cell is lost.
 func (cp *checkpoint) record(key string, s *stats.Sim, m *obs.Metrics) error {
 	rec := cellRecord{Key: key, Stats: s, Metrics: m}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.done[key] = rec
+	_, err = cp.f.Write(append(line, '\n'))
+	return err
+}
+
+// recordSampled journals one freshly completed sampled cell.
+func (cp *checkpoint) recordSampled(key string, res *recyclesim.SampledResult) error {
+	rec := cellRecord{Key: key, Sampled: res}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"cmp"
 	"context"
 	"flag"
 	"fmt"
@@ -66,6 +67,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	all := fs.Bool("all", false, "regenerate everything")
 	insts := fs.Uint64("insts", 300_000, "committed-instruction budget per run")
 	workers := fs.Int("workers", 0, "simulations to run concurrently (0 = GOMAXPROCS)")
+	sampled := fs.Bool("sampled", false, "also regenerate the per-benchmark IPC sweep in sampled mode, with confidence-interval columns")
+	samplePeriod := fs.Uint64("sample-period", 0, "sampled mode: period P in instructions (0 = default 20000)")
+	sampleInterval := fs.Uint64("sample-interval", 0, "sampled mode: measured instructions per interval L (0 = default 1000)")
+	sampleWarmup := fs.Uint64("sample-warmup", 0, "sampled mode: detached-warmup length W per interval (0 = default 1000)")
 	metrics := fs.String("metrics", "", "write an aggregate JSON telemetry snapshot over all cells to this file (\"-\" for stdout)")
 	progress := fs.Bool("progress", false, "print a single-line in-place progress meter to stderr")
 	obsListen := fs.String("obs-listen", "", "serve /metrics, /progress, /healthz and pprof on this address during the sweep (e.g. \":0\")")
@@ -93,7 +98,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "experiments: no table %d in the paper (have 1)\n", *table)
 		return 2
 	}
-	if !*all && *fig == 0 && *table == 0 {
+	if !*all && *fig == 0 && *table == 0 && !*sampled {
 		fs.Usage()
 		return 2
 	}
@@ -120,6 +125,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		{*all || *table == 1, func(w io.Writer, r *runner) { table1(w, r, *insts) }},
 		{*all || *fig == 5, func(w io.Writer, r *runner) { figure5(w, r, *insts) }},
 		{*all || *fig == 6, func(w io.Writer, r *runner) { figure6(w, r, *insts) }},
+		// Sampled sweeps are opt-in even under -all: the detailed figures
+		// are the paper's evaluation; the sampled sweep is the estimator's
+		// own report.
+		{*sampled, func(w io.Writer, r *runner) { figure3Sampled(w, r, *insts) }},
 	}
 
 	// Pass 1: dry-run the print functions against io.Discard to collect
@@ -128,6 +137,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	r.withMetrics = *metrics != ""
 	r.keepGoing = *keepGoing
 	r.crashDir = *crashDir
+	r.sampling = recyclesim.Sampling{
+		Period:      *samplePeriod,
+		IntervalLen: *sampleInterval,
+		WarmupLen:   *sampleWarmup,
+	}
 	for _, s := range sections {
 		if s.want {
 			s.print(io.Discard, r)
@@ -205,7 +219,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	exit := 0
 	if failed := r.failedCells(); len(failed) > 0 {
 		exit = 1
-		fmt.Fprintf(stderr, "experiments: %d of %d cell(s) failed:\n", len(failed), len(r.jobs))
+		fmt.Fprintf(stderr, "experiments: %d of %d cell(s) failed:\n", len(failed), len(r.jobs)+len(r.jobsSamp))
 		for _, line := range failed {
 			fmt.Fprintf(stderr, "  %s\n", line)
 		}
@@ -253,6 +267,14 @@ type runner struct {
 	metrics     []*obs.Metrics
 	errs        []error
 
+	// Sampled cells are memoized separately: same identity space plus
+	// the sampling schedule (fixed per invocation, carried in sampling).
+	sampling    recyclesim.Sampling
+	seenSamp    map[simKey]int
+	jobsSamp    []simJob
+	resultsSamp []*recyclesim.SampledResult
+	errsSamp    []error
+
 	// prog, when non-nil, receives per-cell progress from the workers
 	// (feeding both the -progress meter and the /progress endpoint).
 	prog *sweep.Progress
@@ -263,7 +285,7 @@ type runner struct {
 }
 
 func newRunner() *runner {
-	return &runner{collect: true, seen: make(map[simKey]int)}
+	return &runner{collect: true, seen: make(map[simKey]int), seenSamp: make(map[simKey]int)}
 }
 
 func (r *runner) sim(mach config.Machine, feat config.Features, names []string, insts uint64) *stats.Sim {
@@ -282,11 +304,37 @@ func (r *runner) sim(mach config.Machine, feat config.Features, names []string, 
 	return r.results[i]
 }
 
+// simSampled is sim() for sampled cells: collect mode records the cell
+// and returns a zero estimate, replay mode returns the memoized result.
+func (r *runner) simSampled(mach config.Machine, feat config.Features, names []string, insts uint64) *recyclesim.SampledResult {
+	k := simKey{mach: mach.Name, feat: feat, names: strings.Join(names, "+"), insts: insts}
+	i, ok := r.seenSamp[k]
+	if r.collect {
+		if !ok {
+			r.seenSamp[k] = len(r.jobsSamp)
+			r.jobsSamp = append(r.jobsSamp, simJob{mach: mach, feat: feat, names: names, insts: insts})
+		}
+		return &recyclesim.SampledResult{}
+	}
+	if !ok {
+		panic(fmt.Sprintf("experiments: sampled cell %+v not collected", k))
+	}
+	return r.resultsSamp[i]
+}
+
 // cellKey renders a cell's full identity (the %+v of the flat Features
 // struct covers custom knob combinations that share a figure-legend
 // name) for the checkpoint journal.
 func cellKey(j simJob) string {
 	return fmt.Sprintf("%s|%+v|%s|%d", j.mach.Name, j.feat, strings.Join(j.names, "+"), j.insts)
+}
+
+// sampledCellKey is cellKey for sampled cells: the sampling schedule
+// joins the identity so a sampled cell never collides with the full
+// detailed cell of the same configuration (or with a sampled cell run
+// under a different schedule).
+func (r *runner) sampledCellKey(j simJob) string {
+	return fmt.Sprintf("sampled|%d-%d-%d|%s", r.sampling.Period, r.sampling.IntervalLen, r.sampling.WarmupLen, cellKey(j))
 }
 
 // computeAll executes every collected cell across the worker pool with
@@ -299,8 +347,10 @@ func (r *runner) computeAll(ctx context.Context, workers int) {
 	r.results = make([]*stats.Sim, len(r.jobs))
 	r.metrics = make([]*obs.Metrics, len(r.jobs))
 	r.errs = make([]error, len(r.jobs))
+	r.resultsSamp = make([]*recyclesim.SampledResult, len(r.jobsSamp))
+	r.errsSamp = make([]error, len(r.jobsSamp))
 	if r.prog != nil {
-		r.prog.SetTotal(len(r.jobs))
+		r.prog.SetTotal(len(r.jobs) + len(r.jobsSamp))
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -352,6 +402,56 @@ func (r *runner) computeAll(ctx context.Context, workers int) {
 			r.publish(s, m)
 		}
 	})
+	// Sampled cells run on the same pool; each cell's interval fan-out
+	// stays single-threaded (Workers: 1) so parallelism lives at the
+	// cell level and the pool is never oversubscribed.  Results are
+	// worker-count invariant either way.
+	sweep.Run(len(r.jobsSamp), workers, func(i int) {
+		j := r.jobsSamp[i]
+		key := r.sampledCellKey(j)
+		if r.cp != nil {
+			if rec, ok := r.cp.lookup(key); ok && rec.Sampled != nil {
+				r.resultsSamp[i] = rec.Sampled
+				if r.prog != nil {
+					r.prog.StartCell("sampled/" + j.mach.Name + "/" + config.FeatureName(j.feat) + "/" + strings.Join(j.names, "+"))
+					r.prog.FinishCell(rec.Sampled.MeasuredInsts)
+				}
+				return
+			}
+		}
+		if r.prog != nil {
+			r.prog.StartCell("sampled/" + j.mach.Name + "/" + config.FeatureName(j.feat) + "/" + strings.Join(j.names, "+"))
+		}
+		samp := r.sampling
+		samp.Workers = 1
+		res, err := recyclesim.RunSampledContext(ctx, recyclesim.Options{
+			Machine:   j.mach,
+			Features:  j.feat,
+			Workloads: j.names,
+			MaxInsts:  j.insts,
+			Sampling:  &samp,
+		})
+		if err != nil {
+			r.errsSamp[i] = err
+			r.resultsSamp[i] = &recyclesim.SampledResult{}
+			if !r.keepGoing {
+				cancel()
+			}
+			if r.prog != nil {
+				r.prog.FinishCell(0)
+			}
+			return
+		}
+		r.resultsSamp[i] = res
+		if r.cp != nil {
+			if werr := r.cp.recordSampled(key, res); werr != nil {
+				r.errsSamp[i] = fmt.Errorf("checkpoint append: %w", werr)
+			}
+		}
+		if r.prog != nil {
+			r.prog.FinishCell(res.MeasuredInsts)
+		}
+	})
 	r.collect = false
 }
 
@@ -361,6 +461,11 @@ func (r *runner) failedCells() []string {
 	for i, err := range r.errs {
 		if err != nil {
 			out = append(out, fmt.Sprintf("cell %s: %v", cellKey(r.jobs[i]), firstLine(err.Error())))
+		}
+	}
+	for i, err := range r.errsSamp {
+		if err != nil {
+			out = append(out, fmt.Sprintf("cell %s: %v", r.sampledCellKey(r.jobsSamp[i]), firstLine(err.Error())))
 		}
 	}
 	return out
@@ -528,6 +633,35 @@ func figure3(w io.Writer, r *runner, insts uint64) {
 		for _, p := range presets {
 			s := r.sim(config.Big216(), featByName(p), []string{bench}, insts)
 			fmt.Fprintf(w, " %9.3f", s.IPC())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// sampledPresets are the architectures the sampled sweep reports: the
+// acceptance set the estimator's accuracy is validated against.
+var sampledPresets = []string{"SMT", "TME", "REC", "REC/RS", "REC/RS/RU"}
+
+// figure3Sampled regenerates the Figure 3 sweep in sampled mode:
+// per-benchmark estimated IPC with its Student-t confidence interval,
+// one program on the baseline big.2.16 machine.
+func figure3Sampled(w io.Writer, r *runner, insts uint64) {
+	s := r.sampling
+	fmt.Fprintf(w, "Figure 3 (sampled): per-benchmark IPC with %.0f%% CI, 1 program, big.2.16\n",
+		100*cmp.Or(s.Confidence, 0.95))
+	fmt.Fprintf(w, "schedule: period=%d interval=%d warmup=%d\n",
+		cmp.Or(s.Period, 20_000), cmp.Or(s.IntervalLen, 1_000), cmp.Or(s.WarmupLen, 1_000))
+	fmt.Fprintf(w, "%-10s", "program")
+	for _, p := range sampledPresets {
+		fmt.Fprintf(w, " %22s", p)
+	}
+	fmt.Fprintln(w)
+	for _, bench := range workload.Names {
+		fmt.Fprintf(w, "%-10s", bench)
+		for _, p := range sampledPresets {
+			res := r.simSampled(config.Big216(), featByName(p), []string{bench}, insts)
+			fmt.Fprintf(w, " %7.3f [%5.3f,%5.3f]", res.IPC, res.IPCLo, res.IPCHi)
 		}
 		fmt.Fprintln(w)
 	}

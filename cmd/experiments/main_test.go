@@ -160,6 +160,45 @@ func TestCheckpointResumeCLI(t *testing.T) {
 	}
 }
 
+// TestSampledSweepCLI: the opt-in sampled sweep prints the CI report,
+// journals its cells under schedule-qualified keys that never collide
+// with full-detail cells, and resumes byte-identically.
+func TestSampledSweepCLI(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "cells.jsonl")
+	args := []string{"-sampled", "-insts", "20000", "-sample-period", "4000",
+		"-sample-interval", "400", "-sample-warmup", "400", "-checkpoint", cp}
+
+	var out1, err1 strings.Builder
+	if got := run(args, &out1, &err1); got != 0 {
+		t.Fatalf("first run exited %d:\n%s", got, err1.String())
+	}
+	if !strings.Contains(out1.String(), "Figure 3 (sampled)") {
+		t.Errorf("sampled report missing:\n%s", out1.String())
+	}
+	if !strings.Contains(out1.String(), "schedule: period=4000 interval=400 warmup=400") {
+		t.Errorf("schedule line missing:\n%s", out1.String())
+	}
+	data1, err := os.ReadFile(cp)
+	if err != nil || len(data1) == 0 {
+		t.Fatalf("no journal written: %v", err)
+	}
+	if !strings.Contains(string(data1), `"key":"sampled|4000-400-400|`) {
+		t.Errorf("journal keys not schedule-qualified:\n%.200s", data1)
+	}
+
+	var out2, err2 strings.Builder
+	if got := run(args, &out2, &err2); got != 0 {
+		t.Fatalf("resumed run exited %d:\n%s", got, err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Error("resumed sampled run's stdout differs from the original")
+	}
+	data2, _ := os.ReadFile(cp)
+	if string(data1) != string(data2) {
+		t.Error("resumed run modified a complete journal")
+	}
+}
+
 // TestCheckpointCorruptCLI: a corrupt journal is a flag-level error
 // (exit 2), before any simulation runs.
 func TestCheckpointCorruptCLI(t *testing.T) {

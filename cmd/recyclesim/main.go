@@ -6,6 +6,12 @@
 //
 //	recyclesim -machine big.2.16 -features REC/RS/RU -workloads compress,gcc -insts 500000
 //
+// Sampled mode (-sample) fast-forwards on the golden emulator with
+// functional warming and estimates IPC from periodic detailed
+// intervals; see -sample-period, -sample-interval, -sample-warmup:
+//
+//	recyclesim -sample -features REC/RS/RU -workloads gcc -insts 2000000
+//
 // Exit status is 0 on success, 1 when the simulation itself fails, and
 // 2 on bad flags or unknown machine/feature/workload names.
 package main
@@ -81,6 +87,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	pipetracePC := fs.String("pipetrace-pc", "", "restrict tracing to PC range \"lo:hi\" (0x-prefixed hex ok)")
 	pipetraceCycles := fs.String("pipetrace-cycles", "", "restrict tracing to instructions renamed in cycle window \"lo:hi\"")
 	pipetraceMax := fs.Int("pipetrace-max", 1<<20, "hard cap on traced instructions (excess counted, not recorded)")
+	sampleMode := fs.Bool("sample", false, "sampled simulation: fast-forward on the emulator with functional warming, estimate IPC from periodic detailed intervals")
+	samplePeriod := fs.Uint64("sample-period", 0, "sampling period P in instructions (0 = default 20000)")
+	sampleInterval := fs.Uint64("sample-interval", 0, "measured instructions per interval L (0 = default 1000)")
+	sampleWarmup := fs.Uint64("sample-warmup", 0, "detailed detached-warmup length W per interval (0 = default 1000)")
 	obsListen := fs.String("obs-listen", "", "serve /metrics, /progress, /healthz and pprof on this address during the run (e.g. \":0\")")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget; an expired run exits 1 with its partial statistics")
 	watchdog := fs.String("watchdog", "", "forward-progress window in cycles: a number, or \"off\" (default 50000)")
@@ -164,6 +174,37 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *sampleMode {
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		res, err := recyclesim.RunSampledContext(ctx, recyclesim.Options{
+			Machine:   mach,
+			Features:  feat,
+			Workloads: names,
+			MaxInsts:  *insts,
+			Sampling: &recyclesim.Sampling{
+				Period:      *samplePeriod,
+				IntervalLen: *sampleInterval,
+				WarmupLen:   *sampleWarmup,
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "machine    %s\n", *machine)
+		fmt.Fprintf(stdout, "features   %s (alt %s-%d)\n", recyclesim.FeatureName(feat), feat.AltPolicy, feat.AltLimit)
+		fmt.Fprintf(stdout, "workloads  %s\n", strings.Join(names, ", "))
+		if err := res.WriteText(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	wantMetrics := *metricsJSON != "" || *metricsText != ""

@@ -54,6 +54,24 @@ func TestRunArgs(t *testing.T) {
 			wantErr: `unknown alt policy "sometimes"`,
 		},
 		{
+			name:    "sampled run succeeds",
+			args:    []string{"-sample", "-workloads", "gcc", "-insts", "50000", "-sample-period", "5000", "-sample-interval", "500", "-sample-warmup", "500"},
+			want:    0,
+			wantOut: "sampled",
+		},
+		{
+			name:    "sampled mode wants one workload",
+			args:    []string{"-sample", "-workloads", "compress,gcc", "-insts", "50000"},
+			want:    1,
+			wantErr: "one program",
+		},
+		{
+			name:    "sampled schedule must fit the period",
+			args:    []string{"-sample", "-workloads", "gcc", "-insts", "50000", "-sample-period", "1000", "-sample-interval", "800", "-sample-warmup", "800"},
+			want:    1,
+			wantErr: "exceed",
+		},
+		{
 			name: "bad flag",
 			args: []string{"-definitely-not-a-flag"},
 			want: 2,

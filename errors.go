@@ -113,7 +113,14 @@ func fingerprint(o Options) string {
 	if feat == "" {
 		feat = "custom"
 	}
-	return fmt.Sprintf("%s/%s/%s/max%d", o.Machine.Name, feat, names, o.MaxInsts)
+	fp := fmt.Sprintf("%s/%s/%s/max%d", o.Machine.Name, feat, names, o.MaxInsts)
+	if s := o.Sampling; s != nil {
+		// Sampled and full runs of the same cell are different
+		// simulations; memoization and crash bundles must not conflate
+		// them.
+		fp += fmt.Sprintf("/samp%d-%d-%d", s.Period, s.IntervalLen, s.WarmupLen)
+	}
+	return fp
 }
 
 // simError builds the typed failure report for a run that stopped with

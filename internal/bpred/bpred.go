@@ -74,6 +74,23 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// Clone returns a deep copy of the predictor: tables, per-context
+// history, and return stacks.  Sampled simulation snapshots the
+// functionally warmed predictor at each measurement point so parallel
+// intervals can train private copies without perturbing one another.
+func (p *Predictor) Clone() *Predictor {
+	q := *p
+	q.pht = append([]uint8(nil), p.pht...)
+	q.btb = append([]btbEntry(nil), p.btb...)
+	q.hist = append([]uint64(nil), p.hist...)
+	q.rasTop = append([]int(nil), p.rasTop...)
+	q.ras = make([][]uint64, len(p.ras))
+	for c := range p.ras {
+		q.ras[c] = append([]uint64(nil), p.ras[c]...)
+	}
+	return &q
+}
+
 // Pred is a prediction plus the recovery state the pipeline must carry
 // with the branch so prediction structures can be repaired on a squash
 // and trained on commit.

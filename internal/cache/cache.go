@@ -68,6 +68,17 @@ func New(p Params) *Cache {
 	}
 }
 
+// Clone returns a deep copy of the cache: tag array, bank state, and
+// statistics.  Sampled simulation snapshots functionally warmed caches
+// so parallel measurement intervals each mutate a private copy.
+func (c *Cache) Clone() *Cache {
+	q := *c
+	q.lines = append([]line(nil), c.lines...)
+	q.bankCyc = append([]uint64(nil), c.bankCyc...)
+	q.bankCnt = append([]int(nil), c.bankCnt...)
+	return &q
+}
+
 // Sets returns the number of sets (exported for tests).
 func (c *Cache) Sets() int { return c.sets }
 
@@ -190,6 +201,17 @@ func NewHierarchy(p HierarchyParams) *Hierarchy {
 		DL1: New(p.DL1),
 		L2:  New(p.L2),
 		L3:  New(p.L3),
+	}
+}
+
+// Clone returns a deep copy of the whole hierarchy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{
+		p:   h.p,
+		IL1: h.IL1.Clone(),
+		DL1: h.DL1.Clone(),
+		L2:  h.L2.Clone(),
+		L3:  h.L3.Clone(),
 	}
 }
 

@@ -44,6 +44,14 @@ func New(cfg Config) *Estimator {
 	return &Estimator{cfg: cfg, ctr: make([]uint8, cfg.Entries)}
 }
 
+// Clone returns a deep copy of the estimator (for sampled simulation's
+// per-interval model snapshots).
+func (e *Estimator) Clone() *Estimator {
+	q := *e
+	q.ctr = append([]uint8(nil), e.ctr...)
+	return &q
+}
+
 func (e *Estimator) index(pc uint64) int {
 	return int(pc / isa.InstBytes % uint64(len(e.ctr)))
 }

@@ -152,6 +152,13 @@ type Core struct {
 // The number of programs must divide the context count evenly enough
 // that every program gets at least one context.
 func New(mach config.Machine, feat config.Features, progs []*program.Program) (*Core, error) {
+	return newCore(mach, feat, progs, nil)
+}
+
+// newCore is the shared constructor behind New and NewSeeded; seeds is
+// nil (every program starts at its entry) or pre-validated to match
+// progs element-wise, with nil entries meaning "fresh start".
+func newCore(mach config.Machine, feat config.Features, progs []*program.Program, seeds []*ArchState) (*Core, error) {
 	if err := mach.Validate(); err != nil {
 		return nil, err
 	}
@@ -211,7 +218,14 @@ func New(mach config.Machine, feat config.Features, progs []*program.Program) (*
 		if err := p.Validate(); err != nil {
 			return nil, err
 		}
+		var seed *ArchState
+		if pi < len(seeds) {
+			seed = seeds[pi]
+		}
 		lp := &loadedProgram{idx: pi, prog: p, mem: program.NewMemory(p)}
+		if seed != nil && seed.Mem != nil {
+			lp.mem = seed.Mem
+		}
 		c.progs = append(c.progs, lp)
 		n := per
 		if pi < extra {
@@ -225,18 +239,24 @@ func New(mach config.Machine, feat config.Features, progs []*program.Program) (*
 			next++
 		}
 		c.parts = append(c.parts, part)
-		c.startPrimary(c.ctxs[part.primary], p.Entry)
+		if seed != nil {
+			c.startPrimary(c.ctxs[part.primary], seed.PC, &seed.Regs)
+		} else {
+			c.startPrimary(c.ctxs[part.primary], p.Entry, nil)
+		}
 	}
 	c.Stats.PerProgram = make([]uint64, len(progs))
 	return c, nil
 }
 
-// startPrimary initializes a context as a program's primary thread with
-// a fresh architectural register map.
-func (c *Core) startPrimary(t *Context, entry uint64) {
+// startPrimary initializes a context as a program's primary thread
+// with an architectural register map: the given register values when
+// regs is non-nil (a seeded mid-program start), else the fresh-start
+// state of all zeros with the stack pointer at its base.
+func (c *Core) startPrimary(t *Context, pc uint64, regs *[isa.NumRegs]uint64) {
 	t.state = CtxActive
 	t.isPrimary = true
-	t.fetchPC = entry
+	t.fetchPC = pc
 	t.hasMap = true
 	for l := 1; l < isa.NumRegs; l++ {
 		r, ok := c.rf.Alloc(isa.Reg(l).IsFP())
@@ -244,7 +264,10 @@ func (c *Core) startPrimary(t *Context, entry uint64) {
 			panic("core: register file too small for architectural state")
 		}
 		v := uint64(0)
-		if l == int(isa.RegSP) {
+		switch {
+		case regs != nil:
+			v = regs[l]
+		case l == int(isa.RegSP):
 			v = program.StackBase
 		}
 		c.rf.SetValue(r, v)
@@ -335,12 +358,9 @@ func (c *Core) CycleCount() uint64 { return c.cycle }
 func (c *Core) Done() bool { return c.haltedPrograms >= len(c.progs) }
 
 // tagAddr disambiguates program address spaces in the shared caches and
-// MDB.  The high bits make addresses unique per program; the low skew
-// (a 64-byte-aligned odd multiple of the line size) spreads the
-// programs' identical virtual layouts across cache sets and banks, as
-// distinct physical page mappings would on the real machine.
+// MDB; see TagAddr (in seed.go) for the scheme.
 func (c *Core) tagAddr(progIdx int, addr uint64) uint64 {
-	return addr + uint64(progIdx+1)<<44 + uint64(progIdx)*64*1245
+	return TagAddr(progIdx, addr)
 }
 
 // entrySources returns the physical source registers for inst renamed

@@ -1,0 +1,90 @@
+// Core seeding: starting a detailed core from a mid-program
+// architectural state instead of the program entry.  Sampled
+// simulation (internal/sample) fast-forwards a program on the golden
+// emulator, then builds a seeded core for each detailed measurement
+// interval; the seeded core's committed instruction stream must match
+// the emulator continuing from the same state (seed_test.go holds the
+// cosimulation invariant over every workload).
+package core
+
+import (
+	"fmt"
+
+	"recyclesim/internal/bpred"
+	"recyclesim/internal/cache"
+	"recyclesim/internal/confidence"
+	"recyclesim/internal/config"
+	"recyclesim/internal/isa"
+	"recyclesim/internal/program"
+)
+
+// ArchState is a program's architectural state at a seeding point:
+// the next PC to execute, the architectural register values, and the
+// data memory image.
+type ArchState struct {
+	PC   uint64
+	Regs [isa.NumRegs]uint64
+
+	// Mem, when non-nil, is adopted as the program's data memory (not
+	// copied — the caller hands over ownership).  Nil keeps the fresh
+	// initial image.
+	Mem *program.Memory
+}
+
+// NewSeeded is New with per-program architectural seeds: seeds[i], when
+// non-nil, starts progs[i]'s primary context at the given mid-program
+// PC with the given register values and memory image instead of the
+// program entry.  A nil seeds slice or nil entry means a fresh start.
+// Microarchitectural state (predictor, caches, recycle tables) still
+// starts cold; use SeedMicroarch to inject pre-warmed models.
+func NewSeeded(mach config.Machine, feat config.Features, progs []*program.Program, seeds []*ArchState) (*Core, error) {
+	if len(seeds) != 0 && len(seeds) != len(progs) {
+		return nil, fmt.Errorf("core: %d seeds for %d programs", len(seeds), len(progs))
+	}
+	for i, s := range seeds {
+		if s == nil {
+			continue
+		}
+		if _, ok := progs[i].PCToIndex(s.PC); !ok {
+			return nil, fmt.Errorf("core: seed %d: pc 0x%x outside %s text", i, s.PC, progs[i].Name)
+		}
+		if s.Regs[isa.RegZero] != 0 {
+			return nil, fmt.Errorf("core: seed %d: nonzero zero register", i)
+		}
+	}
+	return newCore(mach, feat, progs, seeds)
+}
+
+// SeedMicroarch replaces the core's branch predictor, confidence
+// estimator, and/or cache hierarchy with externally warmed instances
+// (nil arguments keep the fresh defaults).  The replacements must be
+// built with the same configurations New uses — bpred.Default for the
+// machine's context count, confidence.Default, and the machine's
+// DefaultHierarchy — or the model diverges from the configured
+// machine.  Seeding is only legal before the first cycle.
+func (c *Core) SeedMicroarch(pred *bpred.Predictor, conf *confidence.Estimator, mem *cache.Hierarchy) {
+	if c.cycle != 0 {
+		panic("core: SeedMicroarch called after the first cycle")
+	}
+	if pred != nil {
+		c.pred = pred
+	}
+	if conf != nil {
+		c.conf = conf
+	}
+	if mem != nil {
+		c.mem = mem
+	}
+}
+
+// TagAddr disambiguates program address spaces in the shared caches
+// and MDB.  The high bits make addresses unique per program; the low
+// skew (a 64-byte-aligned odd multiple of the line size) spreads the
+// programs' identical virtual layouts across cache sets and banks, as
+// distinct physical page mappings would on the real machine.  Exported
+// so the functional-warmup driver (internal/sample) trains the shared
+// predictor, confidence estimator, and caches with exactly the
+// addresses the core will present.
+func TagAddr(progIdx int, addr uint64) uint64 {
+	return addr + uint64(progIdx+1)<<44 + uint64(progIdx)*64*1245
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"recyclesim/internal/bpred"
+	"recyclesim/internal/cache"
+	"recyclesim/internal/confidence"
+	"recyclesim/internal/config"
+	"recyclesim/internal/emu"
+	"recyclesim/internal/isa"
+	"recyclesim/internal/program"
+	"recyclesim/internal/workload"
+)
+
+// seededCosim fast-forwards a program ffInsts instructions on the
+// golden emulator, seeds a detailed core from the resulting
+// architectural state, and checks that the seeded core's commit stream
+// exactly continues the emulator's execution.
+func seededCosim(t *testing.T, mach config.Machine, feat config.Features, p *program.Program, ffInsts, maxInsts uint64) {
+	t.Helper()
+	e := emu.New(p)
+	e.Run(ffInsts)
+	if e.Halted {
+		t.Fatalf("%s halted during fast-forward", p.Name)
+	}
+	// The reference emulator clones the memory because the core adopts
+	// the fast-forwarded image.
+	ref := &emu.Emulator{Prog: p, Mem: e.Mem.Clone(), PC: e.PC, Regs: e.Regs, Retired: e.Retired}
+	seed := &ArchState{PC: e.PC, Regs: e.Regs, Mem: e.Mem}
+	c, err := NewSeeded(mach, feat, []*program.Program{p}, []*ArchState{seed})
+	if err != nil {
+		t.Fatalf("NewSeeded: %v", err)
+	}
+	mismatches := 0
+	c.CommitHook = func(ci CommitInfo) {
+		got := ref.Step()
+		if mismatches > 3 {
+			return
+		}
+		fail := func(field string, want, have interface{}) {
+			mismatches++
+			t.Errorf("%s/%s seeded@%d commit #%d pc=0x%x inst=%v: %s mismatch: emulator %v, core %v",
+				p.Name, config.FeatureName(feat), ffInsts, ref.Retired,
+				ci.PC, ci.Inst, field, want, have)
+		}
+		switch {
+		case got.PC != ci.PC:
+			fail("pc", got.PC, ci.PC)
+		case got.Inst != ci.Inst:
+			fail("inst", got.Inst, ci.Inst)
+		case ci.Inst.WritesReg() && got.Result != ci.Result:
+			fail("result", got.Result, ci.Result)
+		case ci.Inst.IsMem() && got.Addr != ci.Addr:
+			fail("addr", got.Addr, ci.Addr)
+		case ci.Inst.IsBranch() && got.Taken != ci.Taken:
+			fail("taken", got.Taken, ci.Taken)
+		}
+	}
+	if _, err := c.Run(maxInsts, 40*maxInsts+10_000); err != nil {
+		t.Fatalf("%s/%s seeded@%d: %v", p.Name, config.FeatureName(feat), ffInsts, err)
+	}
+	if c.Stats.Committed == 0 {
+		t.Fatalf("%s/%s seeded@%d: nothing committed", p.Name, config.FeatureName(feat), ffInsts)
+	}
+}
+
+// The master seeded-correctness invariant: a core seeded from any
+// mid-program point commits exactly what the emulator executes from
+// that point, for every workload, with the full feature set and plain
+// SMT.
+func TestSeededCosim(t *testing.T) {
+	for _, bench := range workload.Names {
+		for _, preset := range []string{"SMT", "REC/RS/RU"} {
+			bench, preset := bench, preset
+			t.Run(bench+"/"+preset, func(t *testing.T) {
+				feat, _ := config.PresetByName(preset)
+				p, err := workload.ByName(bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seededCosim(t, config.Big216(), feat, p, 25_000, 8_000)
+			})
+		}
+	}
+}
+
+// A nil-seed NewSeeded must behave exactly like New.
+func TestNewSeededNilSeedsMatchesNew(t *testing.T) {
+	p, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(build func() (*Core, error)) *Core {
+		c, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(5_000, 40*5_000); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := run(func() (*Core, error) { return New(config.Big216(), config.RECRSRU, []*program.Program{p}) })
+	b := run(func() (*Core, error) {
+		return NewSeeded(config.Big216(), config.RECRSRU, []*program.Program{p}, nil)
+	})
+	if a.Stats.Cycles != b.Stats.Cycles || a.Stats.Committed != b.Stats.Committed ||
+		a.Stats.Recycled != b.Stats.Recycled || a.Stats.Mispredicts != b.Stats.Mispredicts {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestNewSeededValidation(t *testing.T) {
+	p, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []*program.Program{p}
+	if _, err := NewSeeded(config.Big216(), config.SMT, progs, []*ArchState{nil, nil}); err == nil {
+		t.Error("seed/program count mismatch accepted")
+	}
+	if _, err := NewSeeded(config.Big216(), config.SMT, progs, []*ArchState{{PC: 0x3}}); err == nil {
+		t.Error("out-of-text seed PC accepted")
+	}
+	bad := &ArchState{PC: p.Entry}
+	bad.Regs[isa.RegZero] = 1
+	if _, err := NewSeeded(config.Big216(), config.SMT, progs, []*ArchState{bad}); err == nil {
+		t.Error("nonzero zero-register seed accepted")
+	}
+}
+
+// Seeding fresh default microarchitectural models must not change the
+// run at all, and seeding after the first cycle must panic.
+func TestSeedMicroarch(t *testing.T) {
+	p, err := workload.ByName("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := config.Big216()
+	run := func(inject bool) *Core {
+		c, err := New(mach, config.RECRSRU, []*program.Program{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inject {
+			c.SeedMicroarch(bpred.New(bpred.Default(mach.Contexts)),
+				confidence.New(confidence.Default()),
+				cache.NewHierarchy(cache.DefaultHierarchy(mach.CacheScale)))
+		}
+		if _, err := c.Run(5_000, 40*5_000); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := run(false), run(true)
+	if a.Stats.Cycles != b.Stats.Cycles || a.Stats.Committed != b.Stats.Committed ||
+		a.Stats.Mispredicts != b.Stats.Mispredicts {
+		t.Errorf("fresh-model injection perturbed the run: %+v vs %+v", a.Stats, b.Stats)
+	}
+
+	c, err := New(mach, config.SMT, []*program.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Cycle()
+	defer func() {
+		if recover() == nil {
+			t.Error("SeedMicroarch after the first cycle did not panic")
+		}
+	}()
+	c.SeedMicroarch(nil, nil, nil)
+}

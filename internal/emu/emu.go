@@ -47,22 +47,35 @@ type StepInfo struct {
 // Step executes one instruction and returns what happened.  Stepping a
 // halted emulator is a no-op that reports the halt again.
 func (e *Emulator) Step() StepInfo {
+	var info StepInfo
+	e.StepInto(&info)
+	return info
+}
+
+// StepInto is Step writing into a caller-owned record, so the
+// fast-forward loop of sampled simulation (internal/sample) executes
+// tens of millions of instructions without allocating.  Every StepInfo
+// field is overwritten.
+//
+// The doc directive below roots the hotalloc analyzer here: StepInto
+// and everything it transitively calls must stay allocation-free (the
+// sparse-memory map assignment on the store path amortizes growth and
+// is not an allocating construct).
+//
+//recycle:hotpath
+func (e *Emulator) StepInto(info *StepInfo) {
 	in := e.Prog.FetchInst(e.PC)
-	info := StepInfo{PC: e.PC, Inst: in}
+	*info = StepInfo{PC: e.PC, Inst: in}
 	if e.Halted || in.IsHalt() {
 		e.Halted = true
 		info.Inst = isa.Inst{Op: isa.OpHalt}
 		info.Next = e.PC
-		return info
+		return
 	}
 
-	read := func(r isa.Reg) uint64 {
-		if r == isa.RegZero {
-			return 0
-		}
-		return e.Regs[r]
-	}
-	s1, s2 := read(in.Rs1), read(in.Rs2)
+	// The zero register is never written (WritesReg and the load path
+	// both exclude it), so Regs[RegZero] reads as the architectural 0.
+	s1, s2 := e.Regs[in.Rs1], e.Regs[in.Rs2]
 	next := e.PC + isa.InstBytes
 
 	switch {
@@ -94,7 +107,6 @@ func (e *Emulator) Step() StepInfo {
 	e.PC = next
 	info.Next = next
 	e.Retired++
-	return info
 }
 
 // Run executes up to max instructions or until halt, returning the
@@ -110,11 +122,19 @@ func (e *Emulator) Run(max uint64) uint64 {
 
 // Trace executes up to max instructions collecting StepInfo records.
 func (e *Emulator) Trace(max uint64) []StepInfo {
-	out := make([]StepInfo, 0, max)
-	for uint64(len(out)) < max && !e.Halted {
-		out = append(out, e.Step())
+	return e.TraceInto(make([]StepInfo, 0, max), max)
+}
+
+// TraceInto is Trace appending into a caller-owned buffer (reset to
+// length zero first), so repeated tracing reuses one allocation.
+func (e *Emulator) TraceInto(buf []StepInfo, max uint64) []StepInfo {
+	buf = buf[:0]
+	for uint64(len(buf)) < max && !e.Halted {
+		var info StepInfo
+		e.StepInto(&info)
+		buf = append(buf, info)
 	}
-	return out
+	return buf
 }
 
 // String summarizes the emulator state for debugging.

@@ -145,6 +145,75 @@ func TestBenchmarksDontHalt(t *testing.T) {
 	}
 }
 
+// StepInto must be Step: same records, same architectural state.
+func TestStepIntoMatchesStep(t *testing.T) {
+	p := workload.Generate(workload.DefaultGenParams(5))
+	a, b := New(p), New(p)
+	var got StepInfo
+	for i := 0; i < 2000; i++ {
+		want := a.Step()
+		b.StepInto(&got)
+		if got != want {
+			t.Fatalf("step %d: %+v != %+v", i, got, want)
+		}
+	}
+	if a.PC != b.PC || a.Retired != b.Retired || a.Regs != b.Regs {
+		t.Fatal("diverged architectural state")
+	}
+}
+
+// TraceInto must reuse the caller's buffer and match Trace.
+func TestTraceIntoReusesBuffer(t *testing.T) {
+	p := workload.Generate(workload.DefaultGenParams(4))
+	want := New(p).Trace(300)
+	e := New(p)
+	buf := make([]StepInfo, 0, 300)
+	got := e.TraceInto(buf, 300)
+	if &got[0] != &buf[:1][0] {
+		t.Error("TraceInto did not reuse the caller's buffer")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// A second trace into the same buffer starts from length zero again.
+	got2 := e.TraceInto(got, 300)
+	if len(got2) != 300 {
+		t.Fatalf("second trace length %d", len(got2))
+	}
+}
+
+// TestStepIntoAllocBudget pins the fast-forward loop at zero
+// steady-state allocations: sampled simulation executes tens of
+// millions of emulator instructions, so even one allocation per step
+// would dominate its profile.  The only allowed events are rare sparse-
+// memory map growths, which the budget absorbs.
+func TestStepIntoAllocBudget(t *testing.T) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(p)
+	// Warm up: grow the sparse memory to its steady-state footprint.
+	e.Run(100_000)
+	var info StepInfo
+	const stepsPerRun = 10_000
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < stepsPerRun; i++ {
+			e.StepInto(&info)
+		}
+	})
+	perStep := avg / stepsPerRun
+	t.Logf("%.1f allocs per %d steps (%.6f/step)", avg, stepsPerRun, perStep)
+	if perStep > 0.001 {
+		t.Errorf("fast-forward allocation rate %.6f/step exceeds budget 0.001/step", perStep)
+	}
+}
+
 // Benchmarks must keep making branch decisions (no degenerate straight-
 // line or stuck-loop behaviour) and touch memory.
 func TestBenchmarkCharacter(t *testing.T) {

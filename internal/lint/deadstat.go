@@ -12,7 +12,10 @@ import (
 //     stats package, otherwise it is a dead counter silently reporting
 //     zero in every table;
 //   - counters may only grow: ++, += and (annotated) snapshot
-//     assignments are allowed, --, -= and friends are findings;
+//     assignments are allowed, --, -= and friends are findings.  The
+//     stats package's own Sub method is exempt: it is the deliberate
+//     snapshot-delta helper (interval attribution in sampled runs),
+//     not a counter mutation on a live simulation;
 //   - every scalar field must appear in the accumulator method (Add),
 //     otherwise multi-run aggregation silently drops it.
 //
@@ -72,6 +75,26 @@ func (ds *DeadStat) Check(prog *Program) []Diagnostic {
 
 	for _, pkg := range prog.Pkgs {
 		internal := pkg.Path == ds.StatsPkg
+		// The stats package's Sub method is the sanctioned snapshot-delta
+		// helper; decrements inside it are its whole point.
+		var subRanges [][2]token.Pos
+		if internal {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "Sub" && fd.Recv != nil {
+						subRanges = append(subRanges, [2]token.Pos{fd.Pos(), fd.End()})
+					}
+				}
+			}
+		}
+		inSub := func(pos token.Pos) bool {
+			for _, r := range subRanges {
+				if pos >= r[0] && pos < r[1] {
+					return true
+				}
+			}
+			return false
+		}
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				if internal {
@@ -95,7 +118,7 @@ func (ds *DeadStat) Check(prog *Program) []Diagnostic {
 					if !internal {
 						written[fobj] = true
 					}
-					if n.Tok == token.DEC {
+					if n.Tok == token.DEC && !inSub(n.Pos()) {
 						decremented = append(decremented, Diagnostic{
 							Pos:  prog.Position(n.Pos()),
 							Rule: ds.Name(),
@@ -122,6 +145,9 @@ func (ds *DeadStat) Check(prog *Program) []Diagnostic {
 								})
 							}
 						default:
+							if inSub(n.Pos()) {
+								continue
+							}
 							decremented = append(decremented, Diagnostic{
 								Pos:  prog.Position(n.Pos()),
 								Rule: ds.Name(),

@@ -305,6 +305,9 @@ var PureSimRoots = []string{
 	".RunContext",
 	".RunBatch",
 	".RunBatchContext",
+	".RunSampled",
+	".RunSampledContext",
+	"internal/sample.Run",
 }
 
 // Default returns the full analyzer suite with the canonical scopes for

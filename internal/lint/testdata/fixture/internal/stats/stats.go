@@ -20,3 +20,10 @@ func (s *Sim) Add(other *Sim) {
 	s.Shrunk += other.Shrunk
 	s.Snap += other.Snap
 }
+
+// Sub is the sanctioned snapshot-delta helper: decrements inside it
+// must not be reported.
+func (s *Sim) Sub(other *Sim) {
+	s.Cycles -= other.Cycles
+	s.Shrunk--
+}

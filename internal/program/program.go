@@ -7,6 +7,7 @@ package program
 
 import (
 	"fmt"
+	"sort"
 
 	"recyclesim/internal/isa"
 )
@@ -110,4 +111,35 @@ func (m *Memory) Clone() *Memory {
 		c.words[a] = v
 	}
 	return c
+}
+
+// Word is one addressed memory word; checkpoint deltas are slices of
+// Words sorted by address.
+type Word struct {
+	Addr uint64
+	Val  uint64
+}
+
+// Delta returns the words of m whose values differ from base, sorted
+// by address.  m must derive from base by writes only (memories only
+// grow and writes never remove words, so m's key set is a superset of
+// the keys it shares with base); the result applied to a clone of base
+// with Apply reproduces m exactly.
+func (m *Memory) Delta(base *Memory) []Word {
+	var out []Word
+	//simlint:ignore determinism puresim -- the delta is sorted by address immediately below
+	for a, v := range m.words {
+		if base.words[a] != v {
+			out = append(out, Word{Addr: a, Val: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Apply writes the delta words into m.
+func (m *Memory) Apply(delta []Word) {
+	for _, w := range delta {
+		m.words[align(w.Addr)] = w.Val
+	}
 }

@@ -104,3 +104,45 @@ func TestMemoryWordSemantics(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Delta against the initial image must be sorted by address, contain
+// exactly the changed words, and reproduce the memory via Apply.
+func TestMemoryDeltaApplyRoundTrip(t *testing.T) {
+	p := prog2()
+	p.Data = map[uint64]uint64{DataBase: 7, DataBase + 8: 9}
+	base := NewMemory(p)
+	m := NewMemory(p)
+	m.Write(DataBase, 100)   // changed word
+	m.Write(DataBase+8, 9)   // written back to its initial value: not in the delta
+	m.Write(StackBase-16, 5) // new word
+	m.Write(0x4000, 1)       // new word, lower address
+	delta := m.Delta(base)
+	want := []Word{{0x4000, 1}, {DataBase, 100}, {StackBase - 16, 5}}
+	if len(delta) != len(want) {
+		t.Fatalf("delta %v, want %v", delta, want)
+	}
+	for i := range want {
+		if delta[i] != want[i] {
+			t.Fatalf("delta[%d] = %+v, want %+v", i, delta[i], want[i])
+		}
+	}
+	r := NewMemory(p)
+	r.Apply(delta)
+	for _, a := range []uint64{DataBase, DataBase + 8, StackBase - 16, 0x4000, 0x9999} {
+		if r.Read(a) != m.Read(a) {
+			t.Errorf("addr 0x%x: restored %d != original %d", a, r.Read(a), m.Read(a))
+		}
+	}
+	if r.Footprint() != m.Footprint() {
+		t.Errorf("footprint %d != %d", r.Footprint(), m.Footprint())
+	}
+}
+
+// An unchanged memory has an empty delta.
+func TestMemoryDeltaEmpty(t *testing.T) {
+	p := prog2()
+	p.Data = map[uint64]uint64{DataBase: 3}
+	if d := NewMemory(p).Delta(NewMemory(p)); len(d) != 0 {
+		t.Errorf("fresh memory delta = %v, want empty", d)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package sample
+
+// raceEnabled reports whether the race detector is compiled in; the
+// accuracy suite trims its matrix under race, where each cell is an
+// order of magnitude slower.
+const raceEnabled = true

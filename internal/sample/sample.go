@@ -1,0 +1,321 @@
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"recyclesim/internal/config"
+	"recyclesim/internal/core"
+	"recyclesim/internal/emu"
+	"recyclesim/internal/program"
+	"recyclesim/internal/stats"
+	"recyclesim/internal/sweep"
+)
+
+// Config tunes the sampling schedule.  The schedule is systematic and
+// seedless, hence deterministic: with period P, interval length L, and
+// detailed warmup W, interval k covers instructions [k*P, (k+1)*P) —
+// functional fast-forward with warmup over the first P-W-L, W detailed
+// detached-warmup instructions, and the final L instructions measured.
+// Measuring the tail of each period maximizes the functional +
+// detailed warmup behind every measurement.
+type Config struct {
+	Period      uint64 // P: sampling period in instructions (default 20_000)
+	IntervalLen uint64 // L: measured instructions per interval (default 1_000)
+	WarmupLen   uint64 // W: detailed detached-warmup instructions (default 1_000)
+
+	// Confidence selects the Student-t level for the IPC interval:
+	// 0.90, 0.95 (default, also chosen for 0), or 0.99.
+	Confidence float64
+
+	// Workers bounds interval-simulation parallelism (<= 0 selects
+	// GOMAXPROCS).  Intervals are fully independent — each owns its
+	// checkpoint and a private clone of the warmed models — so results
+	// are byte-identical for every worker count.
+	Workers int
+
+	// Poll, when non-nil, is the cooperative-cancellation hook: it is
+	// consulted between periods of the checkpoint pass and threaded
+	// into each interval's detailed core (core.SetPoll).  A non-nil
+	// return abandons the run with that error.
+	Poll func() error
+}
+
+// seedChunk bounds how many interval seeds (architectural checkpoint +
+// warmed-model clone) exist at once; see the chunked loop in Run.
+const seedChunk = 64
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Period == 0 {
+		cfg.Period = 20_000
+	}
+	if cfg.IntervalLen == 0 {
+		cfg.IntervalLen = 1_000
+	}
+	if cfg.WarmupLen == 0 {
+		cfg.WarmupLen = 1_000
+	}
+	//simlint:ignore floatcmp -- exact zero means "unset", selects the default
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.95
+	}
+	return cfg
+}
+
+// Interval is one detailed measurement interval's result.
+type Interval struct {
+	Index     int
+	StartInst uint64    // retired count where measurement began
+	Insts     uint64    // instructions committed in the measured region
+	Cycles    uint64    // cycles spent in the measured region
+	CPI       float64   // Cycles / Insts
+	Stats     stats.Sim // measured-region counter deltas (per-interval attribution)
+}
+
+// Result is a sampled run's estimate.
+type Result struct {
+	Program     string
+	Machine     string
+	Features    string
+	Period      uint64
+	IntervalLen uint64
+	WarmupLen   uint64
+	Confidence  float64
+
+	Intervals []Interval
+
+	// Measured sums the per-interval counter deltas, so the recycling
+	// and branch statistics of the measured regions remain available
+	// (feeding, e.g., Table 1 style decompositions of sampled runs).
+	Measured stats.Sim
+
+	MeanCPI float64 // mean of per-interval CPI samples
+	CPIHalf float64 // Student-t half-width around MeanCPI
+
+	IPC   float64 // 1 / MeanCPI
+	IPCLo float64 // 1 / (MeanCPI + CPIHalf)
+	IPCHi float64 // 1 / (MeanCPI - CPIHalf); 0 when the interval reaches 0 CPI
+
+	TotalInsts    uint64 // instructions covered by the schedule (intervals * period)
+	DetailedInsts uint64 // instructions simulated in detail (incl. detached warmup)
+	MeasuredInsts uint64 // instructions inside measured regions
+}
+
+// RelErrPct returns the half-width of the IPC confidence interval as a
+// percentage of the estimate (0 for a degenerate estimate).
+func (r *Result) RelErrPct() float64 {
+	if !(r.MeanCPI > 0) {
+		return 0
+	}
+	return 100 * r.CPIHalf / r.MeanCPI
+}
+
+// WriteText renders the sampled estimate deterministically; the
+// determinism witness tests compare these bytes across runs and worker
+// counts.
+func (r *Result) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "sampled    %s %s %s: period=%d interval=%d warmup=%d intervals=%d\n",
+		r.Program, r.Machine, r.Features, r.Period, r.IntervalLen, r.WarmupLen, len(r.Intervals)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "IPC        %.4f  CI%.0f%% [%.4f, %.4f]  (CPI %.4f ± %.4f, ±%.2f%%)\n",
+		r.IPC, 100*r.Confidence, r.IPCLo, r.IPCHi, r.MeanCPI, r.CPIHalf, r.RelErrPct()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "coverage   measured %d of %d insts (detailed %d); %d cycles in measured regions\n",
+		r.MeasuredInsts, r.TotalInsts, r.DetailedInsts, r.Measured.Cycles)
+	return err
+}
+
+// Run estimates the IPC of one program on the given machine and
+// feature set over the first maxInsts instructions, using sampled
+// simulation.  The run is deterministic: the same inputs produce
+// byte-identical Results for every worker count.
+func Run(mach config.Machine, feat config.Features, prog *program.Program, maxInsts uint64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.IntervalLen+cfg.WarmupLen > cfg.Period {
+		return nil, fmt.Errorf("sample: interval %d + warmup %d exceed period %d",
+			cfg.IntervalLen, cfg.WarmupLen, cfg.Period)
+	}
+	if maxInsts < cfg.Period {
+		return nil, fmt.Errorf("sample: budget %d smaller than one period %d; use a full detailed run",
+			maxInsts, cfg.Period)
+	}
+	if err := mach.Validate(); err != nil {
+		return nil, err
+	}
+	if err := feat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Checkpoint pass: one functional sweep over the run with
+	// *continuous* warming — a single master Warmup observes every
+	// instruction, so at each measurement point the models carry the
+	// state they would have accumulated since program start (SMARTS
+	// functional warming).  At each measurement start the pass captures
+	// an architectural checkpoint plus a deep clone of the warm models;
+	// the detailed intervals consume those snapshots in parallel without
+	// re-executing any fast-forward work.
+	//
+	// Seeds are produced and consumed in chunks of seedChunk so at most
+	// that many model clones are alive at once (a clone is a couple of
+	// MB of tag arrays, and a long run can have thousands of intervals).
+	// Chunking does not affect the estimate: the pass is sequential,
+	// chunk boundaries depend only on the schedule, and every interval
+	// writes its own slot.
+	type seedpoint struct {
+		cp *Checkpoint
+		w  *Warmup
+	}
+	nMax := int(maxInsts / cfg.Period)
+	base := program.NewMemory(prog)
+	e := emu.New(prog)
+	master := NewWarmup(mach)
+	ff := cfg.Period - cfg.IntervalLen - cfg.WarmupLen
+	ivals := make([]Interval, 0, nMax)
+	errs := make([]error, 0, nMax)
+	var si emu.StepInfo
+	for done := 0; done < nMax && !e.Halted; {
+		seeds := make([]seedpoint, 0, seedChunk)
+		for k := done; k < nMax && len(seeds) < seedChunk && !e.Halted; k++ {
+			if cfg.Poll != nil {
+				if err := cfg.Poll(); err != nil {
+					return nil, err
+				}
+			}
+			for i := uint64(0); i < ff && !e.Halted; i++ {
+				e.StepInto(&si)
+				master.Observe(&si)
+			}
+			if e.Halted {
+				break
+			}
+			seeds = append(seeds, seedpoint{cp: Capture(e, base), w: master.Clone()})
+			for i := uint64(0); i < cfg.WarmupLen+cfg.IntervalLen && !e.Halted; i++ {
+				e.StepInto(&si)
+				master.Observe(&si)
+			}
+			if e.Halted {
+				// The program ended inside the measured tail of period
+				// k: that interval is truncated, so drop it.
+				seeds = seeds[:len(seeds)-1]
+			}
+		}
+		m := len(seeds)
+		if m == 0 {
+			break
+		}
+		ivals = ivals[:done+m]
+		errs = errs[:done+m]
+		sweep.Run(m, cfg.Workers, func(j int) {
+			k := done + j
+			if cfg.Poll != nil {
+				if err := cfg.Poll(); err != nil {
+					errs[k] = err
+					return
+				}
+			}
+			ivals[k], errs[k] = runInterval(mach, feat, prog, seeds[j].cp, seeds[j].w, cfg)
+			ivals[k].Index = k
+		})
+		done += m
+	}
+	n := len(ivals)
+	if n == 0 {
+		return nil, fmt.Errorf("sample: %s halts before one full period (%d insts); use a full detailed run",
+			prog.Name, cfg.Period)
+	}
+	var fails []error
+	for k, err := range errs {
+		if err != nil {
+			fails = append(fails, fmt.Errorf("interval %d: %w", k, err))
+		}
+	}
+	if len(fails) > 0 {
+		return nil, errors.Join(fails...)
+	}
+
+	res := &Result{
+		Program:     prog.Name,
+		Machine:     mach.Name,
+		Features:    config.FeatureName(feat),
+		Period:      cfg.Period,
+		IntervalLen: cfg.IntervalLen,
+		WarmupLen:   cfg.WarmupLen,
+		Confidence:  cfg.Confidence,
+		Intervals:   ivals,
+		TotalInsts:  uint64(n) * cfg.Period,
+	}
+	samples := make([]float64, n)
+	for k := range ivals {
+		samples[k] = ivals[k].CPI
+		res.Measured.Add(&ivals[k].Stats)
+		res.MeasuredInsts += ivals[k].Insts
+		res.DetailedInsts += cfg.WarmupLen + ivals[k].Insts
+	}
+	res.MeanCPI, res.CPIHalf = stats.MeanCI(samples, cfg.Confidence)
+	if res.MeanCPI > 0 {
+		res.IPC = 1 / res.MeanCPI
+		res.IPCLo = 1 / (res.MeanCPI + res.CPIHalf)
+		if lo := res.MeanCPI - res.CPIHalf; lo > 0 {
+			res.IPCHi = 1 / lo
+		}
+	}
+	return res, nil
+}
+
+// runInterval restores one measurement-start checkpoint, seeds a
+// detailed core with the interval's private clone of the continuously
+// warmed models, runs the detached warmup, and measures the interval.
+// A panic inside the core is contained into the interval's error so one
+// bad interval cannot take down a parallel sampled sweep.
+func runInterval(mach config.Machine, feat config.Features, prog *program.Program, cp *Checkpoint, w *Warmup, cfg Config) (iv Interval, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic in detailed interval: %v", r)
+		}
+	}()
+
+	e, err := cp.Restore(prog)
+	if err != nil {
+		return iv, err
+	}
+	seed := &core.ArchState{PC: e.PC, Regs: e.Regs, Mem: e.Mem}
+	c, err := core.NewSeeded(mach, feat, []*program.Program{prog}, []*core.ArchState{seed})
+	if err != nil {
+		return iv, err
+	}
+	c.SeedMicroarch(w.Pred, w.Conf, w.Mem)
+	if cfg.Poll != nil {
+		c.SetPoll(0, cfg.Poll)
+	}
+
+	// The cycle budget covers warmup plus interval at the worst
+	// plausible CPI, mirroring the facade's detailed-run budget.
+	budget := 40*(cfg.WarmupLen+cfg.IntervalLen) + 10_000
+	if _, err := c.Run(cfg.WarmupLen, budget); err != nil {
+		return iv, fmt.Errorf("detached warmup: %w", err)
+	}
+	snap := *c.Stats
+	snap.PerProgram = append([]uint64(nil), c.Stats.PerProgram...)
+	if _, err := c.Run(cfg.WarmupLen+cfg.IntervalLen, budget); err != nil {
+		return iv, fmt.Errorf("measured region: %w", err)
+	}
+
+	delta := *c.Stats
+	delta.PerProgram = append([]uint64(nil), c.Stats.PerProgram...)
+	delta.Sub(&snap)
+	if delta.Committed == 0 {
+		return iv, fmt.Errorf("nothing committed in measured region (cycles %d..%d)", snap.Cycles, c.Stats.Cycles)
+	}
+	iv.StartInst = cp.Retired + snap.Committed
+	iv.Insts = delta.Committed
+	iv.Cycles = delta.Cycles
+	iv.CPI = float64(delta.Cycles) / float64(delta.Committed)
+	iv.Stats = delta
+	return iv, nil
+}

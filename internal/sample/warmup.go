@@ -1,0 +1,101 @@
+package sample
+
+import (
+	"recyclesim/internal/bpred"
+	"recyclesim/internal/cache"
+	"recyclesim/internal/confidence"
+	"recyclesim/internal/config"
+	"recyclesim/internal/core"
+	"recyclesim/internal/emu"
+)
+
+// warmupLine is the I-side granularity of functional warmup: one
+// I-cache touch per 64-byte line change, matching the fetch stage's
+// one-AccessI-per-block behaviour closely enough to warm the same
+// lines.
+const warmupLine = 64
+
+// Warmup functionally warms the long-lived microarchitectural models —
+// branch predictor, confidence estimator, and cache hierarchy — from
+// the emulator's instruction stream during fast-forward, so a detailed
+// measurement interval starts with the state those structures would
+// have accumulated over the whole run.  One Warmup instance observes
+// the entire instruction stream (warming is continuous from program
+// start, as in SMARTS functional warming); Clone snapshots it at each
+// measurement point.  The models are built with the same default
+// configurations core.New uses and are meant to be handed to
+// Core.SeedMicroarch afterwards.
+//
+// The warmup mirrors the core's primary-path training exactly: Lookup,
+// speculative history update, history repair on a mispredict, and
+// commit-time PHT/BTB/confidence training — driven by the
+// architectural stream, which is precisely the primary path's commit
+// stream.  Wrong-path pollution and the recycle/reuse tables (written
+// bits, MDB, active-list traces) are not modelled; those stay cold at
+// interval entry, which is the documented bias of sampled mode.
+type Warmup struct {
+	Pred *bpred.Predictor
+	Conf *confidence.Estimator
+	Mem  *cache.Hierarchy
+
+	progIdx  int
+	now      uint64 // pseudo-cycle driving cache timing/LRU state
+	lastLine uint64
+	haveLine bool
+}
+
+// NewWarmup builds fresh default models for the machine, matching what
+// core.New constructs.
+func NewWarmup(mach config.Machine) *Warmup {
+	return &Warmup{
+		Pred: bpred.New(bpred.Default(mach.Contexts)),
+		Conf: confidence.New(confidence.Default()),
+		Mem:  cache.NewHierarchy(cache.DefaultHierarchy(mach.CacheScale)),
+	}
+}
+
+// Clone deep-copies the warmup state — models and line-tracking — so a
+// measurement interval can hand a private snapshot of the continuously
+// warmed models to its detailed core while the master warmup keeps
+// advancing.
+func (w *Warmup) Clone() *Warmup {
+	q := *w
+	q.Pred = w.Pred.Clone()
+	q.Conf = w.Conf.Clone()
+	q.Mem = w.Mem.Clone()
+	return &q
+}
+
+// Observe feeds one architecturally executed instruction into the
+// models.  Context 0 is warmed (the seeded core's primary context);
+// addresses are tagged exactly as the core tags them so the shared
+// structures see the same index/tag streams.
+//
+//recycle:hotpath
+func (w *Warmup) Observe(si *emu.StepInfo) {
+	w.now++
+	line := si.PC / warmupLine
+	if !w.haveLine || line != w.lastLine {
+		w.Mem.AccessI(w.now, core.TagAddr(w.progIdx, si.PC))
+		w.lastLine = line
+		w.haveLine = true
+	}
+
+	in := si.Inst
+	if in.IsBranch() {
+		pr := w.Pred.Lookup(0, si.PC, in)
+		w.Pred.SpecUpdate(0, in, si.PC, pr)
+		correct := pr.Taken == si.Taken && (!si.Taken || pr.Target == si.Next)
+		if !correct {
+			w.Pred.Restore(0, in, pr, si.Taken)
+		}
+		w.Pred.Commit(si.PC, in, pr, si.Taken, si.Next)
+		if in.IsCondBranch() {
+			w.Conf.Update(core.TagAddr(w.progIdx, si.PC), pr.GHist, pr.Taken == si.Taken)
+		}
+	}
+
+	if in.IsMem() {
+		w.Mem.AccessD(w.now, core.TagAddr(w.progIdx, si.Addr))
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestTCriticalKnownValues(t *testing.T) {
+	cases := []struct {
+		df   int
+		conf float64
+		want float64
+	}{
+		{1, 0.95, 12.706},
+		{4, 0.95, 2.776},
+		{30, 0.95, 2.042},
+		{45, 0.95, 2.021},  // rounds down to df=40
+		{200, 0.95, 1.980}, // rounds down to df=120
+		{1_000_000, 0.95, 1.960},
+		{9, 0.90, 1.833},
+		{9, 0.99, 3.250},
+		{0, 0.95, 12.706}, // df < 1 clamps to df = 1
+		{10, 0.50, 2.228}, // unsupported level selects 0.95
+	}
+	for _, c := range cases {
+		if got := TCritical(c.df, c.conf); !close(got, c.want, 1e-9) {
+			t.Errorf("TCritical(%d, %.2f) = %v, want %v", c.df, c.conf, got, c.want)
+		}
+	}
+}
+
+// Known-value check: {1,2,3,4,5} has mean 3, sample sd sqrt(2.5), and a
+// 95% half-width of t(4)=2.776 * sd/sqrt(5) = 1.96320...
+func TestMeanCIKnownValues(t *testing.T) {
+	mean, half := MeanCI([]float64{1, 2, 3, 4, 5}, 0.95)
+	if !close(mean, 3, 1e-12) {
+		t.Errorf("mean = %v, want 3", mean)
+	}
+	if want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5); !close(half, want, 1e-9) {
+		t.Errorf("half = %v, want %v", half, want)
+	}
+
+	// Wider confidence widens the interval; narrower narrows it.
+	_, h90 := MeanCI([]float64{1, 2, 3, 4, 5}, 0.90)
+	_, h99 := MeanCI([]float64{1, 2, 3, 4, 5}, 0.99)
+	if !(h90 < half && half < h99) {
+		t.Errorf("ordering violated: h90=%v h95=%v h99=%v", h90, half, h99)
+	}
+}
+
+func TestMeanCIDegenerate(t *testing.T) {
+	if m, h := MeanCI(nil, 0.95); m != 0 || h != 0 {
+		t.Errorf("empty: (%v, %v), want (0, 0)", m, h)
+	}
+	if m, h := MeanCI([]float64{7.5}, 0.95); !close(m, 7.5, 0) || h != 0 {
+		t.Errorf("single: (%v, %v), want (7.5, 0)", m, h)
+	}
+	// Identical samples: zero-width interval.
+	if m, h := MeanCI([]float64{2, 2, 2, 2}, 0.95); !close(m, 2, 1e-12) || h != 0 {
+		t.Errorf("constant: (%v, %v), want (2, 0)", m, h)
+	}
+}
+
+// Non-finite samples are excluded rather than poisoning the estimate,
+// matching the package's zero-on-empty ratio convention.
+func TestMeanCINonFinite(t *testing.T) {
+	m, h := MeanCI([]float64{1, math.NaN(), 2, math.Inf(1), 3, 4, 5, math.Inf(-1)}, 0.95)
+	wantM, wantH := MeanCI([]float64{1, 2, 3, 4, 5}, 0.95)
+	if !close(m, wantM, 1e-12) || !close(h, wantH, 1e-12) {
+		t.Errorf("filtered: (%v, %v), want (%v, %v)", m, h, wantM, wantH)
+	}
+	if m, h := MeanCI([]float64{math.NaN(), math.Inf(1)}, 0.95); m != 0 || h != 0 {
+		t.Errorf("all non-finite: (%v, %v), want (0, 0)", m, h)
+	}
+}

@@ -174,3 +174,45 @@ func (s *Sim) Add(other *Sim) {
 		s.PerProgram[i] += v
 	}
 }
+
+// Sub subtracts other from s counter-wise.  Sampled simulation uses it
+// to isolate a measurement interval's contribution: snapshot the
+// counters when the detached warmup ends, run the interval, and
+// subtract.  Every counter in s must be >= its counterpart in other
+// (the snapshot was taken earlier in the same run), so the unsigned
+// subtraction cannot wrap.
+func (s *Sim) Sub(other *Sim) {
+	s.Cycles -= other.Cycles
+	s.Fetched -= other.Fetched
+	s.Renamed -= other.Renamed
+	s.Recycled -= other.Recycled
+	s.Reused -= other.Reused
+	s.Committed -= other.Committed
+	s.Squashed -= other.Squashed
+	s.CondBranches -= other.CondBranches
+	s.Mispredicts -= other.Mispredicts
+	s.CoveredMiss -= other.CoveredMiss
+	s.BTBMisses -= other.BTBMisses
+	s.ReturnPredOK -= other.ReturnPredOK
+	s.ReturnPredBad -= other.ReturnPredBad
+	s.Forks -= other.Forks
+	s.Respawns -= other.Respawns
+	s.ForksUsedTME -= other.ForksUsedTME
+	s.ForksRecycled -= other.ForksRecycled
+	s.ForksRespawned -= other.ForksRespawned
+	s.ForksDeleted -= other.ForksDeleted
+	s.Merges -= other.Merges
+	s.BackMerges -= other.BackMerges
+	s.AltMergeTotal -= other.AltMergeTotal
+	s.RenameStallRegs -= other.RenameStallRegs
+	s.RenameStallAL -= other.RenameStallAL
+	s.IQFullStalls -= other.IQFullStalls
+	s.Reclaims -= other.Reclaims
+	s.ForkFailNoCtx -= other.ForkFailNoCtx
+	s.ForkFailReuse -= other.ForkFailReuse
+	for i, v := range other.PerProgram {
+		if i < len(s.PerProgram) {
+			s.PerProgram[i] -= v
+		}
+	}
+}

@@ -165,3 +165,50 @@ func TestTableFormat(t *testing.T) {
 		t.Errorf("header/row field mismatch:\n%s\n%s", header, row)
 	}
 }
+
+// TestSubInvertsAdd fills every field of a Sim via reflection, adds it
+// to a distinct base, subtracts it back, and requires the base to
+// reappear exactly.  It fails when a newly added counter is forgotten
+// in Sub.
+func TestSubInvertsAdd(t *testing.T) {
+	other := &Sim{}
+	ov := reflect.ValueOf(other).Elem()
+	st := ov.Type()
+	for i := 0; i < st.NumField(); i++ {
+		f := ov.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+		case reflect.Slice:
+			if st.Field(i).Type != reflect.TypeOf([]uint64(nil)) {
+				t.Fatalf("field %s: unhandled slice type %v — extend this test and Sub",
+					st.Field(i).Name, st.Field(i).Type)
+			}
+			f.Set(reflect.ValueOf([]uint64{uint64(i + 1), uint64(i + 2)}))
+		default:
+			t.Fatalf("field %s: unhandled kind %v — extend this test and Sub",
+				st.Field(i).Name, f.Kind())
+		}
+	}
+
+	got := &Sim{}
+	got.Add(other)
+	got.Add(other)
+	got.Sub(other)
+	gv := reflect.ValueOf(got).Elem()
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		f := gv.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			if want := uint64(i + 1); f.Uint() != want {
+				t.Errorf("Sub does not invert Add for %s: got %d, want %d", name, f.Uint(), want)
+			}
+		case reflect.Slice:
+			want := []uint64{uint64(i + 1), uint64(i + 2)}
+			if !reflect.DeepEqual(f.Interface(), want) {
+				t.Errorf("Sub does not invert Add for %s: got %v, want %v", name, f.Interface(), want)
+			}
+		}
+	}
+}

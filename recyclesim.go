@@ -248,6 +248,11 @@ type Options struct {
 	// context attached.
 	PollEveryCycles uint64
 
+	// Sampling, when non-nil, supplies the schedule for RunSampled;
+	// the detailed Run/RunContext/RunBatch entry points ignore it.  A
+	// nil Sampling makes RunSampled use the default schedule.
+	Sampling *Sampling
+
 	// CrashDir, when non-empty, persists a plain-text crash bundle
 	// (config, partial stats, machine dump, flight-recorder and
 	// pipetrace tails, panic stack) for every run that fails with
