@@ -187,3 +187,99 @@ func TestComputeAllRestoresFromCheckpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestJournalKeysNeverCollideAcrossFlags: the journal key must change
+// whenever any identity-bearing flag changes — sampling schedule,
+// confidence level, or detailed vs. sampled mode — so a checkpoint
+// written under one configuration is never replayed for another.
+// (Regression: sampledCellKey once omitted the confidence level, so
+// resuming a -sampled sweep after changing -confidence replayed stale
+// IPCLo/IPCHi/CPIHalf bounds under the new label.)
+func TestJournalKeysNeverCollideAcrossFlags(t *testing.T) {
+	job := simJob{mach: config.Big216(), feat: config.RECRSRU, names: []string{"compress"}, insts: 20_000}
+	sampledKey := func(s recyclesim.Sampling) string {
+		r := newRunner()
+		r.sampling = s
+		return r.sampledCellKey(job)
+	}
+	sched := recyclesim.Sampling{Period: 4_000, IntervalLen: 400, WarmupLen: 400}
+	variants := []struct {
+		name string
+		key  string
+	}{
+		{"detailed", cellKey(job)},
+		{"sampled default confidence", sampledKey(sched)},
+		{"sampled confidence 0.95", sampledKey(func() recyclesim.Sampling { s := sched; s.Confidence = 0.95; return s }())},
+		{"sampled confidence 0.99", sampledKey(func() recyclesim.Sampling { s := sched; s.Confidence = 0.99; return s }())},
+		{"sampled other period", sampledKey(func() recyclesim.Sampling { s := sched; s.Period = 8_000; return s }())},
+		{"sampled other interval", sampledKey(func() recyclesim.Sampling { s := sched; s.IntervalLen = 800; return s }())},
+		{"sampled other warmup", sampledKey(func() recyclesim.Sampling { s := sched; s.WarmupLen = 800; return s }())},
+	}
+	for i, a := range variants {
+		for _, b := range variants[i+1:] {
+			if a.key == b.key {
+				t.Errorf("%s and %s share journal key %q", a.name, b.name, a.key)
+			}
+		}
+	}
+}
+
+// TestSampledJournalNotReplayedAcrossFlagChanges: a sampled cell
+// journaled under one schedule/confidence must be restored only by a
+// sweep with the identical flags; any change misses and resimulates.
+func TestSampledJournalNotReplayedAcrossFlagChanges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	job := simJob{mach: config.Big216(), feat: config.RECRSRU, names: []string{"compress"}, insts: 20_000}
+	base := recyclesim.Sampling{Period: 4_000, IntervalLen: 400, WarmupLen: 400, Confidence: 0.95}
+
+	cp, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbase := newRunner()
+	rbase.sampling = base
+	if err := cp.recordSampled(rbase.sampledCellKey(job), &recyclesim.SampledResult{IPC: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	cases := []struct {
+		name       string
+		mutate     func(*recyclesim.Sampling)
+		wantReplay bool
+	}{
+		{"identical flags", func(*recyclesim.Sampling) {}, true},
+		{"changed confidence", func(s *recyclesim.Sampling) { s.Confidence = 0.99 }, false},
+		{"default (unset) confidence", func(s *recyclesim.Sampling) { s.Confidence = 0 }, false},
+		{"changed period", func(s *recyclesim.Sampling) { s.Period = 8_000 }, false},
+		{"changed interval", func(s *recyclesim.Sampling) { s.IntervalLen = 800 }, false},
+		{"changed warmup", func(s *recyclesim.Sampling) { s.WarmupLen = 800 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp2, err := loadCheckpoint(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cp2.Close()
+			r := newRunner()
+			r.sampling = base
+			tc.mutate(&r.sampling)
+			_, ok := cp2.lookup(r.sampledCellKey(job))
+			if ok != tc.wantReplay {
+				t.Errorf("replay = %v, want %v (key %q)", ok, tc.wantReplay, r.sampledCellKey(job))
+			}
+		})
+	}
+
+	// The detailed cell of the same configuration must never see the
+	// sampled record either.
+	cp3, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp3.Close()
+	if _, ok := cp3.lookup(cellKey(job)); ok {
+		t.Error("detailed cell key collides with a sampled record")
+	}
+}

@@ -71,11 +71,13 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	samplePeriod := fs.Uint64("sample-period", 0, "sampled mode: period P in instructions (0 = default 20000)")
 	sampleInterval := fs.Uint64("sample-interval", 0, "sampled mode: measured instructions per interval L (0 = default 1000)")
 	sampleWarmup := fs.Uint64("sample-warmup", 0, "sampled mode: detached-warmup length W per interval (0 = default 1000)")
+	confidence := fs.Float64("confidence", 0, "sampled mode: Student-t confidence level for the IPC interval (0.90/0.95/0.99; 0 = default 0.95)")
 	metrics := fs.String("metrics", "", "write an aggregate JSON telemetry snapshot over all cells to this file (\"-\" for stdout)")
 	progress := fs.Bool("progress", false, "print a single-line in-place progress meter to stderr")
 	obsListen := fs.String("obs-listen", "", "serve /metrics, /progress, /healthz and pprof on this address during the sweep (e.g. \":0\")")
 	keepGoing := fs.Bool("keep-going", false, "keep computing remaining cells after a cell fails (failed cells print as zeros; exit stays nonzero)")
 	checkpointPath := fs.String("checkpoint", "", "journal completed cells to this file and resume from it, skipping cells it already holds")
+	remote := fs.String("remote", "", "run the sweep on a recycled job server at this base URL instead of simulating locally (failed cells print as zeros, like -keep-going)")
 	crashDir := fs.String("crash-dir", "", "persist a crash bundle here for any cell that panics or livelocks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -100,6 +102,14 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if !*all && *fig == 0 && *table == 0 && !*sampled {
 		fs.Usage()
+		return 2
+	}
+	if *remote != "" && *checkpointPath != "" {
+		fmt.Fprintln(stderr, "experiments: -remote and -checkpoint are mutually exclusive (the server's durable store already journals every cell)")
+		return 2
+	}
+	if *remote != "" && *crashDir != "" {
+		fmt.Fprintln(stderr, "experiments: -remote and -crash-dir are mutually exclusive (cells run on the server, so crash bundles would land there)")
 		return 2
 	}
 	if *cpuprofile != "" {
@@ -141,6 +151,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Period:      *samplePeriod,
 		IntervalLen: *sampleInterval,
 		WarmupLen:   *sampleWarmup,
+		Confidence:  *confidence,
 	}
 	for _, s := range sections {
 		if s.want {
@@ -178,11 +189,21 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		r.publish = func(s *stats.Sim, m *obs.Metrics) { srv.Publish(agg.add(s, m)) }
 	}
 
-	// Pass 2: compute every cell once, in parallel across the pool.
+	// Pass 2: compute every cell once — on the local worker pool, or on
+	// a recycled job server when -remote is set.
+	var remoteErr error
+	compute := func() { r.computeAll(ctx, *workers) }
+	if *remote != "" {
+		compute = func() { remoteErr = computeRemote(ctx, r, *remote, stderr) }
+	}
 	if *progress {
-		runWithMeter(ctx, stderr, r, *workers)
+		runWithMeter(stderr, r, compute)
 	} else {
-		r.computeAll(ctx, *workers)
+		compute()
+	}
+	if remoteErr != nil {
+		fmt.Fprintf(stderr, "experiments: -remote: %v\n", remoteErr)
+		return 2
 	}
 
 	// Pass 3: re-run the print functions for real, replaying memoized
@@ -330,11 +351,17 @@ func cellKey(j simJob) string {
 }
 
 // sampledCellKey is cellKey for sampled cells: the sampling schedule
-// joins the identity so a sampled cell never collides with the full
-// detailed cell of the same configuration (or with a sampled cell run
-// under a different schedule).
+// *and confidence level* join the identity so a sampled cell never
+// collides with the full detailed cell of the same configuration, with
+// a sampled cell run under a different schedule, or with one whose
+// bounds were computed at a different confidence.  (Confidence was
+// missing from the key until journal schema v2; see EXPERIMENTS.md —
+// without it, resuming after changing -confidence replayed stale
+// IPCLo/IPCHi/CPIHalf bounds under the new label.)
 func (r *runner) sampledCellKey(j simJob) string {
-	return fmt.Sprintf("sampled|%d-%d-%d|%s", r.sampling.Period, r.sampling.IntervalLen, r.sampling.WarmupLen, cellKey(j))
+	return fmt.Sprintf("sampled|%d-%d-%d|c%g|%s",
+		r.sampling.Period, r.sampling.IntervalLen, r.sampling.WarmupLen,
+		r.sampling.Confidence, cellKey(j))
 }
 
 // computeAll executes every collected cell across the worker pool with
@@ -505,9 +532,10 @@ func (a *aggregator) add(s *stats.Sim, m *obs.Metrics) *obs.Snapshot {
 	}
 }
 
-// runWithMeter wraps computeAll with a stderr progress meter redrawn in
-// place a few times a second and finished with a newline.
-func runWithMeter(ctx context.Context, stderr io.Writer, r *runner, workers int) {
+// runWithMeter wraps one compute pass (local or remote) with a stderr
+// progress meter redrawn in place a few times a second and finished
+// with a newline.
+func runWithMeter(stderr io.Writer, r *runner, compute func()) {
 	start := time.Now()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -526,7 +554,7 @@ func runWithMeter(ctx context.Context, stderr io.Writer, r *runner, workers int)
 			}
 		}
 	}()
-	r.computeAll(ctx, workers)
+	compute()
 	close(stop)
 	wg.Wait()
 	done, total, _, _ := r.prog.Snapshot()

@@ -1,0 +1,92 @@
+// Command recycled is the simulation-as-a-service daemon: it serves
+// the HTTP/JSON job API (internal/jobs) over a durable
+// content-addressed result store (internal/store), alongside the
+// observability endpoints, all on one listener:
+//
+//	POST /jobs               submit a sweep (JSON cell list)
+//	GET  /jobs/{id}          job status document
+//	GET  /jobs/{id}/results  NDJSON per-cell result stream
+//	GET  /storestats         store hit/compute/corruption counters
+//	GET  /metrics /progress /healthz /debug/pprof/...
+//
+// Every result is keyed by the cell's full content (machine, features,
+// workloads, budget, sampling schedule and confidence), written to the
+// store durably, and deduplicated in flight, so overlapping sweeps from
+// any number of clients simulate each distinct cell exactly once —
+// including across restarts.  Results are byte-identical to a direct
+// library run of the same cell.
+//
+// Exit status is 0 on clean shutdown (SIGINT/SIGTERM) and 2 on bad
+// flags or a listener/store that cannot be opened.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"recyclesim/internal/jobs"
+	"recyclesim/internal/obs/server"
+	"recyclesim/internal/store"
+	"recyclesim/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("recycled", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", ":8347", "address to serve the job and observability API on (\":0\" for an ephemeral port)")
+	storeDir := fs.String("store", "", "directory for the durable result store (required; created if missing)")
+	workers := fs.Int("workers", 0, "per-job cell parallelism (0 = GOMAXPROCS)")
+	retries := fs.Int("retries", 0, "extra attempts a failed cell gets before its error is recorded")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "recycled: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(stderr, "recycled: -store is required")
+		fs.Usage()
+		return 2
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "recycled: -store: %v\n", err)
+		return 2
+	}
+
+	prog := &sweep.Progress{}
+	obsSrv := server.New(prog)
+	js := jobs.NewServer(ctx, st, jobs.Config{
+		Workers:  *workers,
+		Retries:  *retries,
+		Progress: prog,
+		Publish:  obsSrv.Publish,
+	})
+	js.Register(obsSrv)
+	if err := obsSrv.Start(*listen); err != nil {
+		fmt.Fprintf(stderr, "recycled: -listen: %v\n", err)
+		return 2
+	}
+	defer obsSrv.Close()
+
+	// The serving line is the machine-readable handshake: tests and
+	// scripts parse the address out of it (required with -listen :0).
+	fmt.Fprintf(stdout, "recycled: serving on http://%s (store %s)\n", obsSrv.Addr(), *storeDir)
+
+	<-ctx.Done()
+	fmt.Fprintln(stderr, "recycled: shutting down")
+	return 0
+}

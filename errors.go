@@ -117,8 +117,9 @@ func fingerprint(o Options) string {
 	if s := o.Sampling; s != nil {
 		// Sampled and full runs of the same cell are different
 		// simulations; memoization and crash bundles must not conflate
-		// them.
-		fp += fmt.Sprintf("/samp%d-%d-%d", s.Period, s.IntervalLen, s.WarmupLen)
+		// them.  The confidence level joins the schedule because it
+		// changes the reported bounds, not just the label.
+		fp += fmt.Sprintf("/samp%d-%d-%d-c%g", s.Period, s.IntervalLen, s.WarmupLen, s.Confidence)
 	}
 	return fp
 }

@@ -1,0 +1,182 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a recycled job server.  The zero HTTP client is
+// http.DefaultClient; results stream over one long-lived GET, so no
+// client-side timeout is set by default.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:8347", with or without a trailing slash).
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON reply into out, mapping
+// non-2xx statuses onto errors carrying the server's message.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a sweep and returns its job ID.
+func (c *Client) Submit(ctx context.Context, jr JobRequest) (string, error) {
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return "", err
+	}
+	if out.ID == "" {
+		return "", fmt.Errorf("submit: server returned no job id")
+	}
+	return out.ID, nil
+}
+
+// Status fetches one job's status document.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var st JobStatus
+	if err := c.do(req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// StoreCounters fetches the server's store accounting.
+func (c *Client) StoreCounters(ctx context.Context) (map[string]uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/storestats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]uint64
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StreamResults consumes a job's NDJSON result stream, invoking fn for
+// every cell as it arrives; it returns when the server has sent every
+// cell (the job is done), fn returns an error, or ctx is canceled.
+func (c *Client) StreamResults(ctx context.Context, id string, fn func(CellResult) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id+"/results", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: %s: %s", req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var res CellResult
+		if err := dec.Decode(&res); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("results stream: %w", err)
+		}
+		if err := fn(res); err != nil {
+			return err
+		}
+	}
+}
+
+// Run is the whole client workflow: submit the sweep, stream every
+// result into fn, and return the job's final status.  Polling is not
+// needed — the result stream itself blocks until the job is done —
+// but the final status double-checks cell accounting.
+func (c *Client) Run(ctx context.Context, jr JobRequest, fn func(CellResult) error) (*JobStatus, error) {
+	id, err := c.Submit(ctx, jr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.StreamResults(ctx, id, fn); err != nil {
+		return nil, err
+	}
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if st.Done < st.Cells {
+		return st, fmt.Errorf("job %s: stream ended with %d of %d cells", id, st.Done, st.Cells)
+	}
+	return st, nil
+}
+
+// WaitHealthy polls baseURL/healthz until it answers or the deadline
+// passes — the handshake CLI clients use against a freshly started
+// server.
+func WaitHealthy(ctx context.Context, baseURL string, timeout time.Duration) error {
+	base := strings.TrimRight(baseURL, "/")
+	deadline := time.Now().Add(timeout)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no healthy server at %s after %v", base, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,476 @@
+// Package jobs is the HTTP/JSON job layer that turns the simulator
+// into a service: clients submit sweeps of simulation cells, poll
+// their status, and stream per-cell results, while the server dedupes
+// identical cells across concurrent clients through the durable
+// content-addressed store (internal/store) and executes misses on the
+// fault-isolated batch runner (recyclesim.RunBatchContext).
+//
+// Endpoints (mounted onto internal/obs/server via Register, so one
+// listener also serves /metrics, /progress, /healthz, and pprof):
+//
+//	POST /jobs               submit a JobRequest; returns {"id": "j1"}
+//	GET  /jobs               list all job statuses
+//	GET  /jobs/{id}          one job's JobStatus
+//	GET  /jobs/{id}/results  NDJSON stream of CellResults, written as
+//	                         cells land and ending when the job is done
+//	GET  /storestats         the store's Counters (hits/computes/...)
+//
+// Results served from the store are byte-identical to a direct
+// RunBatch/RunSampled call with the same configuration — enforced by
+// the witness tests in this package — and each distinct cell is
+// simulated exactly once no matter how many concurrent jobs request
+// it (store single-flight dedupes in-process, the durable record
+// dedupes across time).
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"recyclesim"
+	"recyclesim/internal/config"
+	"recyclesim/internal/obs"
+	"recyclesim/internal/sample"
+	"recyclesim/internal/stats"
+	"recyclesim/internal/store"
+	"recyclesim/internal/sweep"
+	"recyclesim/internal/workload"
+)
+
+// SamplingSpec is the sampled-mode schedule of a cell.  Zero fields
+// select the simulator defaults (period 20000, interval 1000, warmup
+// 1000, confidence 0.95); the store key normalizes them, so default
+// and spelled-out schedules share a record.
+type SamplingSpec struct {
+	Period      uint64  `json:"period,omitempty"`
+	IntervalLen uint64  `json:"interval,omitempty"`
+	WarmupLen   uint64  `json:"warmup,omitempty"`
+	Confidence  float64 `json:"confidence,omitempty"`
+}
+
+// CellSpec identifies one simulation cell.  The machine and feature
+// structs travel in full (not by name), so custom knob combinations
+// sweep through the service exactly like presets, and the store key is
+// content-addressed on the actual configuration.
+type CellSpec struct {
+	Machine   config.Machine  `json:"machine"`
+	Features  config.Features `json:"features"`
+	Workloads []string        `json:"workloads"`
+	// Insts is the committed-instruction budget (0 = 200_000).  The
+	// cycle budget is fixed at the harness's 40x policy so service
+	// results are byte-identical to cmd/experiments runs.
+	Insts uint64 `json:"insts,omitempty"`
+	// Sampling, when non-nil, makes this a sampled cell.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
+}
+
+// JobRequest is the POST /jobs body.
+type JobRequest struct {
+	Cells []CellSpec `json:"cells"`
+}
+
+// CellResult is one cell's outcome, streamed in completion order;
+// Index maps it back to the submitted JobRequest.Cells slot.
+type CellResult struct {
+	Index  int    `json:"index"`
+	Key    string `json:"key,omitempty"`
+	Cached bool   `json:"cached"` // served from the store or shared in flight
+	Error  string `json:"error,omitempty"`
+
+	Stats   *stats.Sim     `json:"stats,omitempty"`
+	Metrics *obs.Metrics   `json:"metrics,omitempty"`
+	Sampled *sample.Result `json:"sampled,omitempty"`
+}
+
+// JobStatus is the GET /jobs/{id} document.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // "running" or "done"
+	Cells int    `json:"cells"`
+	Done  int    `json:"done"`
+	// Hits counts cells served without simulating here: store records
+	// (from this run or any earlier one) and single-flight shares of a
+	// computation another job had in progress.
+	Hits     int      `json:"hits"`
+	Computes int      `json:"computes"`
+	Failed   int      `json:"failed"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds per-job cell parallelism (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Retries is the number of extra attempts a failed cell gets before
+	// its error is recorded (cancellation is never retried).
+	Retries int
+	// Progress, when non-nil, receives per-cell progress across all
+	// jobs (feeding the obs server's /progress endpoint).
+	Progress *sweep.Progress
+	// Publish, when non-nil, receives an immutable aggregate snapshot
+	// after every completed detailed cell (feeding /metrics).
+	Publish func(*obs.Snapshot)
+}
+
+// Server owns the job table and executes submitted sweeps.
+type Server struct {
+	ctx   context.Context
+	store *store.Store
+	cfg   Config
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*job
+
+	agg aggregate
+}
+
+// job is one submitted sweep.  results appends in completion order
+// under mu; cond wakes streaming readers on every append and on
+// completion.
+type job struct {
+	id    string
+	cells []CellSpec
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	results  []CellResult
+	state    string
+	hits     int
+	computes int
+	failed   int
+	errs     []string
+}
+
+// aggregate accumulates every detailed cell the server computes or
+// serves, building the immutable snapshots /metrics exposes.
+type aggregate struct {
+	mu    sync.Mutex
+	stats stats.Sim
+	tel   obs.Metrics
+	cells int
+}
+
+func (a *aggregate) add(s *stats.Sim, m *obs.Metrics) *obs.Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Add(s)
+	a.tel.Add(m)
+	a.cells++
+	st := a.stats
+	st.PerProgram = append([]uint64(nil), a.stats.PerProgram...)
+	tel := a.tel
+	return &obs.Snapshot{
+		Name:    fmt.Sprintf("recycled running aggregate (%d cells)", a.cells),
+		Stats:   &st,
+		Metrics: &tel,
+	}
+}
+
+// NewServer builds a job server over st.  ctx bounds every simulation
+// the server runs: canceling it (shutdown) stops in-flight cells at
+// their next poll and fails their jobs' remaining cells as canceled.
+func NewServer(ctx context.Context, st *store.Store, cfg Config) *Server {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Server{ctx: ctx, store: st, cfg: cfg, jobs: make(map[string]*job)}
+}
+
+// Registrar is the mux surface Register needs; *http.ServeMux and
+// *internal/obs/server.Server both satisfy it.
+type Registrar interface {
+	Handle(pattern string, h http.Handler)
+}
+
+// Register mounts the job API onto mux.
+func (s *Server) Register(mux Registrar) {
+	mux.Handle("POST /jobs", http.HandlerFunc(s.handleSubmit))
+	mux.Handle("GET /jobs", http.HandlerFunc(s.handleList))
+	mux.Handle("GET /jobs/{id}", http.HandlerFunc(s.handleStatus))
+	mux.Handle("GET /jobs/{id}/results", http.HandlerFunc(s.handleResults))
+	mux.Handle("GET /storestats", http.HandlerFunc(s.handleStoreStats))
+}
+
+// StoreCounters exposes the underlying store accounting (tests and the
+// CLI use it; HTTP clients use /storestats).
+func (s *Server) StoreCounters() store.Counters { return s.store.Counters() }
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Cells) == 0 {
+		http.Error(w, "bad request: no cells", http.StatusBadRequest)
+		return
+	}
+	j := &job{cells: req.Cells, state: "running"}
+	j.cond = sync.NewCond(&j.mu)
+	s.mu.Lock()
+	s.seq++
+	j.id = fmt.Sprintf("j%d", s.seq)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	if s.cfg.Progress != nil {
+		s.cfg.Progress.AddTotal(len(req.Cells))
+	}
+	go s.runJob(j)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": j.id})
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	//simlint:ignore determinism -- ids are sorted by numeric suffix below
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	// Jobs are "j<seq>"; sort by submission order for a stable listing.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && jobLess(out[k].ID, out[k-1].ID); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func jobLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.store.Counters())
+}
+
+// handleResults streams a job's CellResults as NDJSON, flushing as
+// cells land, until every cell has been written and the job is done.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.results) && j.state != "done" {
+			j.cond.Wait()
+		}
+		batch := j.results[next:]
+		next = len(j.results)
+		done := j.state == "done"
+		j.mu.Unlock()
+		for i := range batch {
+			if err := enc.Encode(&batch[i]); err != nil {
+				return // client went away
+			}
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		Cells:    len(j.cells),
+		Done:     len(j.results),
+		Hits:     j.hits,
+		Computes: j.computes,
+		Failed:   j.failed,
+		Errors:   append([]string(nil), j.errs...),
+	}
+}
+
+// runJob fans the job's cells out on the worker pool.  Each cell goes
+// through the store's single-flight GetOrCompute, so cells shared with
+// other running jobs (or already on disk) are never simulated twice.
+func (s *Server) runJob(j *job) {
+	sweep.Run(len(j.cells), s.cfg.Workers, func(i int) {
+		if s.cfg.Progress != nil {
+			s.cfg.Progress.StartCell(cellName(j.cells[i]))
+		}
+		res := s.runCell(j.cells[i], i)
+		if s.cfg.Progress != nil {
+			var insts uint64
+			if res.Stats != nil {
+				insts = res.Stats.Committed
+			} else if res.Sampled != nil {
+				insts = res.Sampled.MeasuredInsts
+			}
+			s.cfg.Progress.FinishCell(insts)
+		}
+		if s.cfg.Publish != nil && res.Error == "" && res.Stats != nil {
+			s.cfg.Publish(s.agg.add(res.Stats, res.Metrics))
+		}
+		j.mu.Lock()
+		j.results = append(j.results, res)
+		switch {
+		case res.Error != "":
+			j.failed++
+			j.errs = append(j.errs, fmt.Sprintf("cell %d (%s): %s", res.Index, cellName(j.cells[i]), res.Error))
+		case res.Cached:
+			j.hits++
+		default:
+			j.computes++
+		}
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	j.mu.Lock()
+	j.state = "done"
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// cellName renders a cell for progress display and error reports.
+func cellName(c CellSpec) string {
+	name := c.Machine.Name + "/" + config.FeatureName(c.Features) + "/" + strings.Join(c.Workloads, "+")
+	if c.Sampling != nil {
+		name = "sampled/" + name
+	}
+	return name
+}
+
+// runCell resolves, keys, and executes (or serves) one cell.
+func (s *Server) runCell(c CellSpec, idx int) CellResult {
+	progs, err := workload.MixPrograms(c.Workloads)
+	if err != nil {
+		return CellResult{Index: idx, Error: err.Error()}
+	}
+	insts := c.Insts
+	if insts == 0 {
+		insts = 200_000
+	}
+	var sampKey *store.Sampling
+	if c.Sampling != nil {
+		sampKey = &store.Sampling{
+			Period:      c.Sampling.Period,
+			IntervalLen: c.Sampling.IntervalLen,
+			WarmupLen:   c.Sampling.WarmupLen,
+			Confidence:  c.Sampling.Confidence,
+		}
+	}
+	key := store.CellKey(c.Machine, c.Features, store.HashPrograms(progs), insts, sampKey)
+	rec, cached, err := s.store.GetOrCompute(key, func() (*store.Record, error) {
+		if c.Sampling != nil {
+			return s.computeSampled(c, insts)
+		}
+		return s.computeDetailed(c, insts)
+	})
+	if err != nil {
+		return CellResult{Index: idx, Key: key, Error: err.Error()}
+	}
+	return CellResult{
+		Index:   idx,
+		Key:     key,
+		Cached:  cached,
+		Stats:   rec.Stats,
+		Metrics: rec.Metrics,
+		Sampled: rec.Sampled,
+	}
+}
+
+// computeDetailed runs one detailed cell on the fault-isolated batch
+// runner: panics and livelocks come back as errors, never take the
+// server down, and transient hook failures get cfg.Retries fresh
+// attempts (with fresh telemetry each time, so a partially accumulated
+// failed attempt never leaks into the stored record).
+func (s *Server) computeDetailed(c CellSpec, insts uint64) (*store.Record, error) {
+	for attempt := 0; ; attempt++ {
+		tel := &obs.Metrics{Hists: true}
+		res, err := recyclesim.RunBatchContext(s.ctx, []recyclesim.Options{{
+			Machine:   c.Machine,
+			Features:  c.Features,
+			Workloads: c.Workloads,
+			MaxInsts:  insts,
+			MaxCycles: 40 * insts,
+			Telemetry: tel,
+		}}, recyclesim.BatchConfig{Workers: 1})
+		if err == nil {
+			return &store.Record{Stats: res[0], Metrics: tel}, nil
+		}
+		if attempt >= s.cfg.Retries || errors.Is(err, recyclesim.ErrCanceled) || errors.Is(err, recyclesim.ErrDeadline) {
+			return nil, err
+		}
+	}
+}
+
+// computeSampled runs one sampled cell.  Workers is pinned to 1: the
+// job's cells already fan out across the pool, and cell-level
+// parallelism keeps results worker-count invariant (matching the
+// cmd/experiments policy).
+func (s *Server) computeSampled(c CellSpec, insts uint64) (*store.Record, error) {
+	samp := recyclesim.Sampling{Workers: 1}
+	if c.Sampling != nil {
+		samp.Period = c.Sampling.Period
+		samp.IntervalLen = c.Sampling.IntervalLen
+		samp.WarmupLen = c.Sampling.WarmupLen
+		samp.Confidence = c.Sampling.Confidence
+	}
+	for attempt := 0; ; attempt++ {
+		res, err := recyclesim.RunSampledContext(s.ctx, recyclesim.Options{
+			Machine:   c.Machine,
+			Features:  c.Features,
+			Workloads: c.Workloads,
+			MaxInsts:  insts,
+			Sampling:  &samp,
+		})
+		if err == nil {
+			return &store.Record{Sampled: res}, nil
+		}
+		if attempt >= s.cfg.Retries || errors.Is(err, recyclesim.ErrCanceled) || errors.Is(err, recyclesim.ErrDeadline) {
+			return nil, err
+		}
+	}
+}

@@ -202,9 +202,11 @@ func Run(prog *Program, analyzers []Analyzer) []Diagnostic {
 // this list: they reason from entry points and annotations over every
 // loaded package, including cmd/* and the module root.
 var NonSimPackages = []string{
+	"internal/jobs",           // job service: HTTP server + goroutines by design
 	"internal/lint",           // the analysis engine itself (walks dirs, maps)
 	"internal/lint/callgraph", // ditto
 	"internal/obs/server",     // live observability: wall clock + goroutines by design
+	"internal/store",          // host-side persistence: filesystem + hashing
 }
 
 // SimPackages discovers the module-relative package paths whose code

@@ -38,9 +38,17 @@ type Server struct {
 	snap  atomic.Pointer[obs.Snapshot]
 	start time.Time
 
+	extra []route
+
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
+}
+
+// route is one extra handler registered before Start.
+type route struct {
+	pattern string
+	handler http.Handler
 }
 
 // New builds a server that reads sweep progress from prog (which may be
@@ -53,6 +61,16 @@ func New(prog *sweep.Progress) *Server {
 // must be immutable — callers hand over a private copy, never the
 // live simulator state a worker keeps mutating.
 func (s *Server) Publish(sn *obs.Snapshot) { s.snap.Store(sn) }
+
+// Handle registers an additional handler on the server's mux, letting
+// a service (the recycled job API) mount its endpoints alongside
+// /metrics, /progress, /healthz, and pprof on one listener.  Patterns
+// follow net/http.ServeMux semantics (methods and wildcards included).
+// Handle must be called before Start; registrations after Start are
+// silently ignored.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.extra = append(s.extra, route{pattern: pattern, handler: h})
+}
 
 // Start binds addr (e.g. ":0" for an ephemeral port) and serves in a
 // background goroutine until Close.
@@ -70,6 +88,9 @@ func (s *Server) Start(addr string) error {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range s.extra {
+		mux.Handle(r.pattern, r.handler)
+	}
 
 	s.ln = ln
 	s.start = time.Now()

@@ -120,3 +120,25 @@ func TestCloseIsIdempotentAndStopsServing(t *testing.T) {
 		t.Error("server still serving after Close")
 	}
 }
+
+// TestHandleMountsExtraRoutes: a service can mount its own endpoints
+// next to the built-ins, with net/http method+wildcard patterns, and
+// the built-ins keep working.
+func TestHandleMountsExtraRoutes(t *testing.T) {
+	s := New(nil)
+	s.Handle("GET /jobs/{id}", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "job "+r.PathValue("id"))
+	}))
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	code, body, _ := get(t, s, "/jobs/j7")
+	if code != http.StatusOK || body != "job j7" {
+		t.Errorf("GET /jobs/j7 = %d %q", code, body)
+	}
+	if code, body, _ := get(t, s, "/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("built-in /healthz broken after Handle: %d %q", code, body)
+	}
+}

@@ -66,6 +66,11 @@ func TCritical(df int, confidence float64) float64 {
 		return row.exact[0]
 	case df <= 30:
 		return row.exact[df-1]
+	case df < 40:
+		// The next-lower tabulated df is 30, whose exact value
+		// dominates df40 — rounding 31..39 down to the df=40 row would
+		// be anti-conservative (a narrower interval than the true one).
+		return row.exact[29]
 	case df < 60:
 		return row.df40
 	case df < 120:

@@ -16,6 +16,7 @@ func TestTCriticalKnownValues(t *testing.T) {
 		{1, 0.95, 12.706},
 		{4, 0.95, 2.776},
 		{30, 0.95, 2.042},
+		{35, 0.95, 2.042},  // rounds down to df=30, not df=40
 		{45, 0.95, 2.021},  // rounds down to df=40
 		{200, 0.95, 1.980}, // rounds down to df=120
 		{1_000_000, 0.95, 1.960},
@@ -27,6 +28,39 @@ func TestTCriticalKnownValues(t *testing.T) {
 	for _, c := range cases {
 		if got := TCritical(c.df, c.conf); !close(got, c.want, 1e-9) {
 			t.Errorf("TCritical(%d, %.2f) = %v, want %v", c.df, c.conf, got, c.want)
+		}
+	}
+}
+
+// TestTCriticalMonotone is the regression test for the df 31..39
+// bucket: critical values must be monotone non-increasing in df at
+// every level, across every boundary of the table (30/40/60/120/inf).
+// The old `df < 60: df40` bucket returned 2.021 for df=31 at 95% —
+// *below* the exact df=30 value of 2.042, an anti-conservative
+// interval narrower than the true one.
+func TestTCriticalMonotone(t *testing.T) {
+	for _, conf := range []float64{0.90, 0.95, 0.99} {
+		prev := TCritical(1, conf)
+		for df := 2; df <= 20_000; df++ {
+			cur := TCritical(df, conf)
+			if cur > prev {
+				t.Fatalf("TCritical(%d, %.2f) = %v > TCritical(%d, %.2f) = %v: "+
+					"critical values must not increase with df", df, conf, cur, df-1, conf, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+// The 31..39 bucket must be at least as wide as the exact df=30 value
+// (the doc comment's "next-lower tabulated df" promise).
+func TestTCriticalDF31To39Conservative(t *testing.T) {
+	for _, conf := range []float64{0.90, 0.95, 0.99} {
+		df30 := TCritical(30, conf)
+		for df := 31; df < 40; df++ {
+			if got := TCritical(df, conf); got != df30 {
+				t.Errorf("TCritical(%d, %.2f) = %v, want the df=30 value %v", df, conf, got, df30)
+			}
 		}
 	}
 }

@@ -1,0 +1,290 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"recyclesim/internal/config"
+	"recyclesim/internal/stats"
+	"recyclesim/internal/workload"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testKey(t *testing.T, mutate func(*config.Machine, *config.Features, *uint64, **Sampling)) string {
+	t.Helper()
+	m := config.Big216()
+	f := config.RECRSRU
+	insts := uint64(20_000)
+	var samp *Sampling
+	if mutate != nil {
+		mutate(&m, &f, &insts, &samp)
+	}
+	progs, err := workload.MixPrograms([]string{"compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CellKey(m, f, HashPrograms(progs), insts, samp)
+}
+
+// TestCellKeyDistinctAcrossIdentity: every identity axis — machine,
+// features, workload, budget, detailed vs. sampled, schedule, and
+// confidence — must produce a distinct key.
+func TestCellKeyDistinctAcrossIdentity(t *testing.T) {
+	variants := map[string]string{
+		"base": testKey(t, nil),
+		"other machine": testKey(t, func(m *config.Machine, _ *config.Features, _ *uint64, _ **Sampling) {
+			*m = config.Small18()
+		}),
+		"other features": testKey(t, func(_ *config.Machine, f *config.Features, _ *uint64, _ **Sampling) {
+			*f = config.SMT
+		}),
+		"other budget": testKey(t, func(_ *config.Machine, _ *config.Features, insts *uint64, _ **Sampling) {
+			*insts = 40_000
+		}),
+		"sampled default": testKey(t, func(_ *config.Machine, _ *config.Features, _ *uint64, samp **Sampling) {
+			*samp = &Sampling{}
+		}),
+		"sampled other schedule": testKey(t, func(_ *config.Machine, _ *config.Features, _ *uint64, samp **Sampling) {
+			*samp = &Sampling{Period: 40_000}
+		}),
+		"sampled 99% confidence": testKey(t, func(_ *config.Machine, _ *config.Features, _ *uint64, samp **Sampling) {
+			*samp = &Sampling{Confidence: 0.99}
+		}),
+	}
+	seen := map[string]string{}
+	for name, key := range variants {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s and %s share key %s", name, prev, key)
+		}
+		seen[key] = name
+	}
+
+	// Workload content reaches the key: a different benchmark differs.
+	progs, err := workload.MixPrograms([]string{"li"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := CellKey(config.Big216(), config.RECRSRU, HashPrograms(progs), 20_000, nil)
+	if other == variants["base"] {
+		t.Error("different workloads share a key")
+	}
+}
+
+// TestCellKeyNormalizesSamplingDefaults: a zero (default) schedule and
+// the same schedule spelled out explicitly address the same record —
+// including the 0.95 default confidence.
+func TestCellKeyNormalizesSamplingDefaults(t *testing.T) {
+	zero := testKey(t, func(_ *config.Machine, _ *config.Features, _ *uint64, samp **Sampling) {
+		*samp = &Sampling{}
+	})
+	explicit := testKey(t, func(_ *config.Machine, _ *config.Features, _ *uint64, samp **Sampling) {
+		*samp = &Sampling{Period: 20_000, IntervalLen: 1_000, WarmupLen: 1_000, Confidence: 0.95}
+	})
+	if zero != explicit {
+		t.Errorf("default-equivalent schedules keyed apart:\n %s\n %s", zero, explicit)
+	}
+}
+
+// TestHashProgramsDeterministic: the workload hash is stable across
+// calls (the data image is a map; the hash must sort it).
+func TestHashProgramsDeterministic(t *testing.T) {
+	progs, err := workload.MixPrograms([]string{"su2cor", "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := HashPrograms(progs)
+	for i := 0; i < 10; i++ {
+		progs2, _ := workload.MixPrograms([]string{"su2cor", "compress"})
+		if h2 := HashPrograms(progs2); h2 != h {
+			t.Fatalf("hash unstable: %s vs %s", h, h2)
+		}
+	}
+}
+
+// TestPutGetRoundTrip: a record written is read back byte-equal
+// (JSON-level) and DeepEqual, from a fresh Store over the same dir.
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t, nil)
+	want := &Record{Stats: &stats.Sim{Cycles: 123, Committed: 456, PerProgram: []uint64{456}}}
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir) // durability: a fresh handle sees the record
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("record lost across reopen")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+	a, _ := json.Marshal(got.Stats)
+	b, _ := json.Marshal(want.Stats)
+	if string(a) != string(b) {
+		t.Errorf("stats not byte-identical: %s vs %s", a, b)
+	}
+	if c := s2.Counters(); c.DiskHits != 0 {
+		// Get alone does not count as a GetOrCompute hit.
+		t.Errorf("counters %+v after bare Get", c)
+	}
+}
+
+// TestGetRefusesCorruptRecords: truncated JSON, a record echoing the
+// wrong key, a foreign codec version, and an empty payload are all
+// misses, and GetOrCompute recomputes over them.
+func TestGetRefusesCorruptRecords(t *testing.T) {
+	key := testKey(t, nil)
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"truncated", `{"v":1,"key":"` + key + `","stats":{"Cyc`},
+		{"wrong key", `{"v":1,"key":"0000","stats":{"Cycles":1}}`},
+		{"foreign version", `{"v":999,"key":"` + key + `","stats":{"Cycles":1}}`},
+		{"no payload", `{"v":1,"key":"` + key + `"}`},
+		{"empty file", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testStore(t)
+			path := s.path(key)
+			os.MkdirAll(filepath.Dir(path), 0o755)
+			os.WriteFile(path, []byte(tc.data), 0o644)
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt record served")
+			}
+			if c := s.Counters(); c.Corrupt == 0 {
+				t.Error("corruption not counted")
+			}
+
+			// Recompute overwrites the damage.
+			want := &Record{Stats: &stats.Sim{Cycles: 7}}
+			rec, cached, err := s.GetOrCompute(key, func() (*Record, error) { return want, nil })
+			if err != nil || cached || rec.Stats.Cycles != 7 {
+				t.Fatalf("recompute: rec=%+v cached=%v err=%v", rec, cached, err)
+			}
+			if got, ok := s.Get(key); !ok || got.Stats.Cycles != 7 {
+				t.Error("recomputed record not persisted over the corrupt one")
+			}
+		})
+	}
+}
+
+// TestGetOrComputeSingleFlight: N concurrent requests for one missing
+// key run compute exactly once; everyone gets the same record, and the
+// counters account for every request.
+func TestGetOrComputeSingleFlight(t *testing.T) {
+	s := testStore(t)
+	key := testKey(t, nil)
+	const n = 16
+	gate := make(chan struct{})
+	var computes int
+	var start, finish sync.WaitGroup
+	recs := make([]*Record, n)
+	start.Add(n)
+	finish.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer finish.Done()
+			start.Done()
+			rec, _, err := s.GetOrCompute(key, func() (*Record, error) {
+				computes++ // data-race-free only if single-flight holds
+				<-gate
+				return &Record{Stats: &stats.Sim{Cycles: 42}}, nil
+			})
+			if err != nil {
+				t.Errorf("GetOrCompute: %v", err)
+			}
+			recs[i] = rec
+		}(i)
+	}
+	start.Wait()
+	close(gate)
+	finish.Wait()
+	if computes != 1 {
+		t.Errorf("compute ran %d times, want 1", computes)
+	}
+	c := s.Counters()
+	if c.Computes != 1 {
+		t.Errorf("Computes = %d, want 1", c.Computes)
+	}
+	if c.DiskHits+c.FlightShares != n-1 {
+		t.Errorf("hits %d + shares %d != %d", c.DiskHits, c.FlightShares, n-1)
+	}
+	for i, rec := range recs {
+		if rec == nil || rec.Stats.Cycles != 42 {
+			t.Errorf("caller %d got %+v", i, rec)
+		}
+	}
+}
+
+// TestGetOrComputeErrorPropagates: a failed compute reaches every
+// concurrent waiter and leaves no record on disk, so a later call
+// retries.
+func TestGetOrComputeErrorPropagates(t *testing.T) {
+	s := testStore(t)
+	key := testKey(t, nil)
+	boom := fmt.Errorf("cell exploded")
+	if _, _, err := s.GetOrCompute(key, func() (*Record, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Error("failed compute left a record")
+	}
+	rec, cached, err := s.GetOrCompute(key, func() (*Record, error) {
+		return &Record{Stats: &stats.Sim{Cycles: 1}}, nil
+	})
+	if err != nil || cached || rec.Stats.Cycles != 1 {
+		t.Errorf("retry after failure: rec=%+v cached=%v err=%v", rec, cached, err)
+	}
+}
+
+// TestGetOrComputeDiskHitAfterCompute: the second request for a key
+// lands as a disk hit (cached = true) without recomputing.
+func TestGetOrComputeDiskHitAfterCompute(t *testing.T) {
+	s := testStore(t)
+	key := testKey(t, nil)
+	compute := func() (*Record, error) { return &Record{Stats: &stats.Sim{Cycles: 9}}, nil }
+	if _, cached, err := s.GetOrCompute(key, compute); err != nil || cached {
+		t.Fatalf("first call: cached=%v err=%v", cached, err)
+	}
+	rec, cached, err := s.GetOrCompute(key, func() (*Record, error) {
+		t.Error("second call recomputed")
+		return nil, nil
+	})
+	if err != nil || !cached || rec.Stats.Cycles != 9 {
+		t.Fatalf("second call: rec=%+v cached=%v err=%v", rec, cached, err)
+	}
+	if c := s.Counters(); c.DiskHits != 1 || c.Computes != 1 {
+		t.Errorf("counters %+v", c)
+	}
+}
+
+// TestOpenRejectsEmptyDir: the empty string is a configuration error,
+// not a store in the current directory.
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

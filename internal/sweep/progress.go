@@ -21,6 +21,11 @@ type Progress struct {
 // SetTotal publishes the number of cells the sweep will run.
 func (p *Progress) SetTotal(n int) { p.total.Store(int64(n)) }
 
+// AddTotal grows the published total by n cells.  A job server whose
+// sweeps arrive over time adds each submitted job into one cross-job
+// meter instead of overwriting it.
+func (p *Progress) AddTotal(n int) { p.total.Add(int64(n)) }
+
 // StartCell publishes the name of a cell a worker just started.  With
 // several workers the current cell is simply the most recently started
 // one.
