@@ -35,6 +35,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"recyclesim"
@@ -78,6 +79,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	keepGoing := fs.Bool("keep-going", false, "keep computing remaining cells after a cell fails (failed cells print as zeros; exit stays nonzero)")
 	checkpointPath := fs.String("checkpoint", "", "journal completed cells to this file and resume from it, skipping cells it already holds")
 	remote := fs.String("remote", "", "run the sweep on a recycled job server at this base URL instead of simulating locally (failed cells print as zeros, like -keep-going)")
+	traceOut := fs.String("trace-out", "", "save the remote job's request trace (Chrome trace_event JSON, for Perfetto) to this file (requires -remote)")
 	crashDir := fs.String("crash-dir", "", "persist a crash bundle here for any cell that panics or livelocks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -110,6 +112,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *remote != "" && *crashDir != "" {
 		fmt.Fprintln(stderr, "experiments: -remote and -crash-dir are mutually exclusive (cells run on the server, so crash bundles would land there)")
+		return 2
+	}
+	if *traceOut != "" && *remote == "" {
+		fmt.Fprintln(stderr, "experiments: -trace-out requires -remote (only service sweeps are traced)")
 		return 2
 	}
 	if *cpuprofile != "" {
@@ -194,7 +200,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var remoteErr error
 	compute := func() { r.computeAll(ctx, *workers) }
 	if *remote != "" {
-		compute = func() { remoteErr = computeRemote(ctx, r, *remote, stderr) }
+		compute = func() { remoteErr = computeRemote(ctx, r, *remote, *traceOut, stderr) }
 	}
 	if *progress {
 		runWithMeter(stderr, r, compute)
@@ -296,6 +302,12 @@ type runner struct {
 	resultsSamp []*recyclesim.SampledResult
 	errsSamp    []error
 
+	// nComputed/nRestored split the completed cells for the meter's
+	// final accounting line: simulated here versus served from the
+	// checkpoint journal (local) or the server's store (remote).
+	nComputed atomic.Int64
+	nRestored atomic.Int64
+
 	// prog, when non-nil, receives per-cell progress from the workers
 	// (feeding both the -progress meter and the /progress endpoint).
 	prog *sweep.Progress
@@ -396,6 +408,7 @@ func (r *runner) computeAll(ctx context.Context, workers int) {
 				if r.publish != nil {
 					r.publish(r.results[i], r.metrics[i])
 				}
+				r.nRestored.Add(1)
 				return
 			}
 		}
@@ -415,6 +428,7 @@ func (r *runner) computeAll(ctx context.Context, workers int) {
 			return
 		}
 		r.results[i], r.metrics[i] = s, m
+		r.nComputed.Add(1)
 		if r.cp != nil {
 			if werr := r.cp.record(cellKey(j), s, m); werr != nil {
 				// The in-memory result is intact; only resumability of
@@ -443,6 +457,7 @@ func (r *runner) computeAll(ctx context.Context, workers int) {
 					r.prog.StartCell("sampled/" + j.mach.Name + "/" + config.FeatureName(j.feat) + "/" + strings.Join(j.names, "+"))
 					r.prog.FinishCell(rec.Sampled.MeasuredInsts)
 				}
+				r.nRestored.Add(1)
 				return
 			}
 		}
@@ -470,6 +485,7 @@ func (r *runner) computeAll(ctx context.Context, workers int) {
 			return
 		}
 		r.resultsSamp[i] = res
+		r.nComputed.Add(1)
 		if r.cp != nil {
 			if werr := r.cp.recordSampled(key, res); werr != nil {
 				r.errsSamp[i] = fmt.Errorf("checkpoint append: %w", werr)
@@ -558,7 +574,8 @@ func runWithMeter(stderr io.Writer, r *runner, compute func()) {
 	close(stop)
 	wg.Wait()
 	done, total, _, _ := r.prog.Snapshot()
-	fmt.Fprintf(stderr, "\r%-100s\n", formatProgress(done, total, "", time.Since(start)))
+	fmt.Fprintf(stderr, "\r%-100s\n", formatProgressDone(done, total, time.Since(start),
+		r.nComputed.Load(), r.nRestored.Load()))
 }
 
 // formatProgress renders one progress-meter line: cells done/total with
@@ -583,6 +600,23 @@ func formatProgress(done, total int64, current string, elapsed time.Duration) st
 		s += "  " + current
 	}
 	return s
+}
+
+// formatProgressDone renders the meter's final line: the completed
+// state (100% when nothing failed or was interrupted), total cells and
+// elapsed time, and the computes/hits split — instead of leaving
+// whatever the last 200ms sample happened to show.
+func formatProgressDone(done, total int64, elapsed time.Duration, computes, hits int64) string {
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	state := "done"
+	if done < total {
+		state = "stopped"
+	}
+	return fmt.Sprintf("cells %d/%d (%.0f%%)  elapsed %s  computes %d  hits %d  %s",
+		done, total, pct, elapsed.Round(time.Second), computes, hits, state)
 }
 
 // runSim executes one cell through the library facade, inheriting its

@@ -104,6 +104,29 @@ func TestFormatProgress(t *testing.T) {
 	}
 }
 
+// TestFormatProgressDone is the contract for the meter's final line:
+// it replaces the ETA with the sweep's compute/hit split and closes
+// with "done" (or "stopped" when the run was cut short).
+func TestFormatProgressDone(t *testing.T) {
+	cases := []struct {
+		done, total    int64
+		elapsed        time.Duration
+		computes, hits int64
+		want           string
+	}{
+		{8, 8, time.Minute, 8, 0, "cells 8/8 (100%)  elapsed 1m0s  computes 8  hits 0  done"},
+		{8, 8, 2 * time.Second, 0, 8, "cells 8/8 (100%)  elapsed 2s  computes 0  hits 8  done"},
+		{3, 8, 10 * time.Second, 2, 1, "cells 3/8 (38%)  elapsed 10s  computes 2  hits 1  stopped"},
+		{0, 0, 0, 0, 0, "cells 0/0 (0%)  elapsed 0s  computes 0  hits 0  done"},
+	}
+	for _, tc := range cases {
+		if got := formatProgressDone(tc.done, tc.total, tc.elapsed, tc.computes, tc.hits); got != tc.want {
+			t.Errorf("formatProgressDone(%d, %d, %v, %d, %d) = %q, want %q",
+				tc.done, tc.total, tc.elapsed, tc.computes, tc.hits, got, tc.want)
+		}
+	}
+}
+
 // TestObservabilityDoesNotPerturbOutput runs the same tiny regeneration
 // with and without the observability server and progress meter: stdout
 // must be byte-identical, because the server and meter write only to
@@ -124,6 +147,9 @@ func TestObservabilityDoesNotPerturbOutput(t *testing.T) {
 	}
 	if !strings.Contains(obsErr.String(), "observability server on http://") {
 		t.Errorf("stderr missing server announcement:\n%s", obsErr.String())
+	}
+	if s := obsErr.String(); !strings.Contains(s, "(100%)") || !strings.Contains(s, "  done") {
+		t.Errorf("stderr missing the meter's final completed line:\n%s", s)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"recyclesim"
@@ -24,7 +25,9 @@ import (
 // simulation.  Fault containment is per cell, like -keep-going: a
 // failed cell comes back as an error record and prints as zeros while
 // the rest of the sweep completes.
-func computeRemote(ctx context.Context, r *runner, baseURL string, stderr io.Writer) error {
+// traceOut, when non-empty, saves the job's Chrome trace_event JSON
+// there after the sweep; the trace URL prints on stderr either way.
+func computeRemote(ctx context.Context, r *runner, baseURL, traceOut string, stderr io.Writer) error {
 	r.results = make([]*stats.Sim, len(r.jobs))
 	r.metrics = make([]*obs.Metrics, len(r.jobs))
 	r.errs = make([]error, len(r.jobs))
@@ -65,7 +68,8 @@ func computeRemote(ctx context.Context, r *runner, baseURL string, stderr io.Wri
 	}
 
 	n := len(r.jobs)
-	st, err := jobs.NewClient(baseURL).Run(ctx, jobs.JobRequest{Cells: specs}, func(res jobs.CellResult) error {
+	client := jobs.NewClient(baseURL)
+	st, err := client.Run(ctx, jobs.JobRequest{Cells: specs}, func(res jobs.CellResult) error {
 		i := res.Index
 		switch {
 		case i < 0 || i >= len(specs):
@@ -112,10 +116,23 @@ func computeRemote(ctx context.Context, r *runner, baseURL string, stderr io.Wri
 	if err != nil {
 		return err
 	}
+	r.nComputed.Store(int64(st.Computes))
+	r.nRestored.Store(int64(st.Hits))
 	// One accounting line on stderr (stdout must stay byte-identical to
 	// a local run); a rerun of an unchanged sweep shows computes=0.
-	fmt.Fprintf(stderr, "experiments: remote: cells=%d hits=%d computes=%d failed=%d\n",
-		st.Cells, st.Hits, st.Computes, st.Failed)
+	fmt.Fprintf(stderr, "experiments: remote: job=%s cells=%d hits=%d computes=%d failed=%d\n",
+		st.ID, st.Cells, st.Hits, st.Computes, st.Failed)
+	fmt.Fprintf(stderr, "experiments: remote: trace %s/jobs/%s/trace\n", baseURL, st.ID)
+	if traceOut != "" {
+		raw, err := client.FetchTrace(ctx, st.ID)
+		if err != nil {
+			return fmt.Errorf("fetch trace: %w", err)
+		}
+		if err := os.WriteFile(traceOut, raw, 0o644); err != nil {
+			return fmt.Errorf("save trace: %w", err)
+		}
+		fmt.Fprintf(stderr, "experiments: remote: trace saved to %s\n", traceOut)
+	}
 	r.collect = false
 	return nil
 }

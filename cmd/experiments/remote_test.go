@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -52,6 +54,12 @@ func TestRemoteMatchesLocalStdout(t *testing.T) {
 	if s := rem1Err.String(); !strings.Contains(s, "hits=0 ") {
 		t.Errorf("first remote run should have zero hits, stderr: %s", s)
 	}
+	if s := rem1Err.String(); !strings.Contains(s, "remote: job=") {
+		t.Errorf("accounting line should carry the job id, stderr: %s", s)
+	}
+	if s := rem1Err.String(); !strings.Contains(s, "remote: trace "+base+"/jobs/") {
+		t.Errorf("stderr should print the trace URL, stderr: %s", s)
+	}
 
 	var rem2, rem2Err bytes.Buffer
 	if code := run(append(args, "-remote", base), &rem2, &rem2Err); code != 0 {
@@ -87,8 +95,47 @@ func TestRemoteMatchesLocalSampled(t *testing.T) {
 	}
 }
 
+// TestRemoteTraceOut: -trace-out saves the job's request trace as
+// Chrome trace_event JSON that a trace viewer would accept — complete
+// spans ("X" events) including one per cell.
+func TestRemoteTraceOut(t *testing.T) {
+	base := startService(t, t.TempDir())
+	out := filepath.Join(t.TempDir(), "sweep.trace.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-fig", "3", "-insts", "1000", "-remote", base, "-trace-out", out}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "trace saved to "+out) {
+		t.Errorf("stderr missing save confirmation: %s", stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("saved trace is not JSON: %v", err)
+	}
+	var cells int
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "cell" && ev.Phase == "X" {
+			cells++
+		}
+	}
+	if cells == 0 {
+		t.Errorf("saved trace has no completed cell spans:\n%s", raw)
+	}
+}
+
 // TestRemoteFlagConflicts: the client-side journal and crash capture
-// stay local-only concerns.
+// stay local-only concerns, and -trace-out is meaningless without a
+// service to trace.
 func TestRemoteFlagConflicts(t *testing.T) {
 	dir := t.TempDir()
 	for _, extra := range [][]string{
@@ -103,6 +150,15 @@ func TestRemoteFlagConflicts(t *testing.T) {
 		if !strings.Contains(errb.String(), "mutually exclusive") {
 			t.Errorf("run(%q) stderr %q, want mutual-exclusion message", args, errb.String())
 		}
+	}
+
+	var out, errb bytes.Buffer
+	args := []string{"-fig", "3", "-trace-out", filepath.Join(dir, "t.json")}
+	if code := run(args, &out, &errb); code != 2 {
+		t.Errorf("run(%q) exit %d, want 2; stderr: %s", args, code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-trace-out requires -remote") {
+		t.Errorf("run(%q) stderr %q, want -trace-out conflict message", args, errb.String())
 	}
 }
 

@@ -6,8 +6,9 @@
 //	POST /jobs               submit a sweep (JSON cell list)
 //	GET  /jobs/{id}          job status document
 //	GET  /jobs/{id}/results  NDJSON per-cell result stream
+//	GET  /jobs/{id}/trace    request trace (Chrome trace_event JSON)
 //	GET  /storestats         store hit/compute/corruption counters
-//	GET  /metrics /progress /healthz /debug/pprof/...
+//	GET  /metrics /progress /healthz /buildinfo /debug/pprof/...
 //
 // Every result is keyed by the cell's full content (machine, features,
 // workloads, budget, sampling schedule and confidence), written to the
@@ -15,6 +16,10 @@
 // any number of clients simulate each distinct cell exactly once —
 // including across restarts.  Results are byte-identical to a direct
 // library run of the same cell.
+//
+// Stdout carries exactly one machine-readable handshake line; all
+// diagnostics are structured JSON records (log/slog) on stderr, each
+// carrying the job/trace/cell IDs involved, filtered by -log-level.
 //
 // Exit status is 0 on clean shutdown (SIGINT/SIGTERM) and 2 on bad
 // flags or a listener/store that cannot be opened.
@@ -25,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +54,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	storeDir := fs.String("store", "", "directory for the durable result store (required; created if missing)")
 	workers := fs.Int("workers", 0, "per-job cell parallelism (0 = GOMAXPROCS)")
 	retries := fs.Int("retries", 0, "extra attempts a failed cell gets before its error is recorded")
+	logLevel := fs.String("log-level", "info", "minimum level for the JSON logs on stderr (debug, info, warn, error)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,6 +67,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(stderr, "recycled: -log-level: %v\n", err)
+		return 2
+	}
+	log := slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: level}))
 
 	st, err := store.Open(*storeDir)
 	if err != nil {
@@ -74,8 +87,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Retries:  *retries,
 		Progress: prog,
 		Publish:  obsSrv.Publish,
+		Log:      log,
 	})
 	js.Register(obsSrv)
+	obsSrv.AppendMetrics(js.WriteServiceMetrics)
 	if err := obsSrv.Start(*listen); err != nil {
 		fmt.Fprintf(stderr, "recycled: -listen: %v\n", err)
 		return 2
@@ -85,8 +100,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// The serving line is the machine-readable handshake: tests and
 	// scripts parse the address out of it (required with -listen :0).
 	fmt.Fprintf(stdout, "recycled: serving on http://%s (store %s)\n", obsSrv.Addr(), *storeDir)
+	log.Info("recycled serving", "addr", obsSrv.Addr(), "store", *storeDir,
+		"workers", *workers, "retries", *retries)
 
 	<-ctx.Done()
-	fmt.Fprintln(stderr, "recycled: shutting down")
+	log.Info("recycled shutting down")
 	return 0
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"regexp"
 	"strings"
 	"sync"
@@ -35,10 +36,11 @@ func (s *syncBuffer) String() string {
 func TestBadFlags(t *testing.T) {
 	var out, errb syncBuffer
 	for _, args := range [][]string{
-		{},                       // -store required
-		{"-store"},               // missing value
-		{"-store", "x", "extra"}, // positional argument
-		{"-nonesuch"},            // unknown flag
+		{},                                    // -store required
+		{"-store"},                            // missing value
+		{"-store", "x", "extra"},              // positional argument
+		{"-nonesuch"},                         // unknown flag
+		{"-store", "x", "-log-level", "loud"}, // unknown log level
 	} {
 		if got := runCtx(context.Background(), args, &out, &errb); got != 2 {
 			t.Errorf("runCtx(%q) = %d, want 2", args, got)
@@ -57,7 +59,8 @@ func TestServeLifecycle(t *testing.T) {
 	var out, errb syncBuffer
 	done := make(chan int, 1)
 	go func() {
-		done <- runCtx(ctx, []string{"-listen", "127.0.0.1:0", "-store", t.TempDir()}, &out, &errb)
+		done <- runCtx(ctx, []string{"-listen", "127.0.0.1:0", "-store", t.TempDir(),
+			"-log-level", "debug"}, &out, &errb)
 	}()
 
 	// Parse the announced address from stdout.
@@ -94,6 +97,28 @@ func TestServeLifecycle(t *testing.T) {
 		t.Errorf("results %+v", res)
 	}
 
+	// The daemon mounts the trace endpoint: the job's Chrome trace is
+	// valid JSON carrying its cell span.
+	raw, err := client.FetchTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("FetchTrace: %v", err)
+	}
+	var traceDoc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &traceDoc); err != nil {
+		t.Fatalf("trace export is not JSON: %v", err)
+	}
+	var sawCell bool
+	for _, ev := range traceDoc.TraceEvents {
+		sawCell = sawCell || ev.Name == "cell"
+	}
+	if !sawCell {
+		t.Errorf("trace export has no cell span:\n%s", raw)
+	}
+
 	cancel()
 	select {
 	case code := <-done:
@@ -105,5 +130,29 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "shutting down") {
 		t.Errorf("no shutdown line on stderr: %s", errb.String())
+	}
+
+	// Stdout stays a single handshake line; every stderr diagnostic is
+	// one structured JSON record carrying the IDs it is about.
+	if lines := strings.Count(strings.TrimSpace(out.String()), "\n"); lines != 0 {
+		t.Errorf("stdout has %d extra lines beyond the handshake:\n%s", lines, out.String())
+	}
+	var sawSubmit, sawDone bool
+	for _, line := range strings.Split(strings.TrimSpace(errb.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("stderr line is not JSON: %q", line)
+			continue
+		}
+		switch rec["msg"] {
+		case "job submitted":
+			sawSubmit = rec["job"] == st.ID && rec["trace"] == st.Trace
+		case "job done":
+			sawDone = rec["job"] == st.ID
+		}
+	}
+	if !sawSubmit || !sawDone {
+		t.Errorf("missing job lifecycle records (submitted=%v done=%v):\n%s",
+			sawSubmit, sawDone, errb.String())
 	}
 }

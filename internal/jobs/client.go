@@ -17,6 +17,11 @@ import (
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// TraceID, when non-empty, propagates client→server on every
+	// Submit via the Recycle-Trace-Id header, so the server-side job
+	// trace carries an ID the client chose (and can correlate with its
+	// own records).  Malformed values are ignored by the server.
+	TraceID string
 }
 
 // NewClient builds a client for the server at base (e.g.
@@ -61,6 +66,9 @@ func (c *Client) Submit(ctx context.Context, jr JobRequest) (string, error) {
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.TraceID != "" {
+		req.Header.Set(TraceHeader, c.TraceID)
+	}
 	var out struct {
 		ID string `json:"id"`
 	}
@@ -71,6 +79,25 @@ func (c *Client) Submit(ctx context.Context, jr JobRequest) (string, error) {
 		return "", fmt.Errorf("submit: server returned no job id")
 	}
 	return out.ID, nil
+}
+
+// FetchTrace downloads a job's Chrome trace_event JSON (the document
+// GET /jobs/{id}/trace serves), ready to save and load in Perfetto.
+func (c *Client) FetchTrace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("GET %s: %s: %s", req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // Status fetches one job's status document.

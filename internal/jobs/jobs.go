@@ -8,12 +8,23 @@
 // Endpoints (mounted onto internal/obs/server via Register, so one
 // listener also serves /metrics, /progress, /healthz, and pprof):
 //
-//	POST /jobs               submit a JobRequest; returns {"id": "j1"}
+//	POST /jobs               submit a JobRequest; returns {"id": "j1",
+//	                         "trace": "<16 hex digits>"}
 //	GET  /jobs               list all job statuses
 //	GET  /jobs/{id}          one job's JobStatus
 //	GET  /jobs/{id}/results  NDJSON stream of CellResults, written as
 //	                         cells land and ending when the job is done
+//	GET  /jobs/{id}/trace    the job's request trace as Chrome
+//	                         trace_event JSON (internal/obs/trace)
 //	GET  /storestats         the store's Counters (hits/computes/...)
+//
+// Every job carries a request-scoped trace (internal/obs/trace): a
+// span buffer preallocated at admission records the whole service
+// path — per-cell queue wait, store lookup (hit/corrupt/recheck),
+// single-flight waits, compute attempts with retries, and NDJSON
+// stream delivery — and clients propagate their own trace IDs with
+// the Recycle-Trace-Id header.  Completed spans feed the per-stage
+// latency histograms WriteServiceMetrics appends to /metrics.
 //
 // Results served from the store are byte-identical to a direct
 // RunBatch/RunSampled call with the same configuration — enforced by
@@ -24,23 +35,36 @@
 package jobs
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"recyclesim"
 	"recyclesim/internal/config"
 	"recyclesim/internal/obs"
+	"recyclesim/internal/obs/trace"
 	"recyclesim/internal/sample"
 	"recyclesim/internal/stats"
 	"recyclesim/internal/store"
 	"recyclesim/internal/sweep"
 	"recyclesim/internal/workload"
 )
+
+// TraceHeader is the HTTP header a client sets on POST /jobs to
+// propagate its own trace ID (16 hex digits); without it the server
+// mints one.  The assigned ID comes back in the submit response and
+// the job status.
+const TraceHeader = "Recycle-Trace-Id"
 
 // SamplingSpec is the sampled-mode schedule of a cell.  Zero fields
 // select the simulator defaults (period 20000, interval 1000, warmup
@@ -100,6 +124,8 @@ type JobStatus struct {
 	Computes int      `json:"computes"`
 	Failed   int      `json:"failed"`
 	Errors   []string `json:"errors,omitempty"`
+	// Trace is the job's trace ID; GET /jobs/{id}/trace exports it.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Config tunes a Server.
@@ -115,6 +141,9 @@ type Config struct {
 	// Publish, when non-nil, receives an immutable aggregate snapshot
 	// after every completed detailed cell (feeding /metrics).
 	Publish func(*obs.Snapshot)
+	// Log receives the server's structured records (job lifecycle, cell
+	// failures, stream disconnects).  nil discards them.
+	Log *slog.Logger
 }
 
 // Server owns the job table and executes submitted sweeps.
@@ -122,12 +151,17 @@ type Server struct {
 	ctx   context.Context
 	store *store.Store
 	cfg   Config
+	log   *slog.Logger
 
 	mu   sync.Mutex
 	seq  int
 	jobs map[string]*job
 
 	agg aggregate
+	lat latencies
+
+	jobsSubmitted atomic.Uint64
+	jobsDone      atomic.Uint64
 }
 
 // job is one submitted sweep.  results appends in completion order
@@ -137,6 +171,16 @@ type job struct {
 	id    string
 	cells []CellSpec
 
+	// The request trace: root is the whole-job span; cellCtx[i] and
+	// queueCtx[i] are cell i's "cell" span (parent of its store/stream
+	// spans) and its "queue" span (admission → worker pickup), all
+	// opened at admission so queue wait is measured even for cells no
+	// worker has touched yet.
+	trace    *trace.Trace
+	root     trace.Ctx
+	cellCtx  []trace.Ctx
+	queueCtx []trace.Ctx
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	results  []CellResult
@@ -145,6 +189,44 @@ type job struct {
 	computes int
 	failed   int
 	errs     []string
+}
+
+// latencies accumulates per-stage service latency histograms (µs, log2
+// buckets) from completed spans; WriteServiceMetrics renders them.
+type latencies struct {
+	mu    sync.Mutex
+	hists map[string]*obs.Hist
+}
+
+func (l *latencies) observe(name string, dur time.Duration) {
+	us := uint64(dur.Microseconds())
+	l.mu.Lock()
+	if l.hists == nil {
+		l.hists = make(map[string]*obs.Hist)
+	}
+	h := l.hists[name]
+	if h == nil {
+		h = &obs.Hist{}
+		l.hists[name] = h
+	}
+	h.Observe(us)
+	l.mu.Unlock()
+}
+
+// snapshot returns the stage names (sorted) and private histogram
+// copies, so rendering never holds the observation lock.
+func (l *latencies) snapshot() ([]string, map[string]obs.Hist) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.hists))
+	out := make(map[string]obs.Hist, len(l.hists))
+	//simlint:ignore determinism -- names are sorted before use
+	for name, h := range l.hists {
+		names = append(names, name)
+		out[name] = *h
+	}
+	sort.Strings(names)
+	return names, out
 }
 
 // aggregate accumulates every detailed cell the server computes or
@@ -179,7 +261,11 @@ func NewServer(ctx context.Context, st *store.Store, cfg Config) *Server {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Server{ctx: ctx, store: st, cfg: cfg, jobs: make(map[string]*job)}
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return &Server{ctx: ctx, store: st, cfg: cfg, log: log, jobs: make(map[string]*job)}
 }
 
 // Registrar is the mux surface Register needs; *http.ServeMux and
@@ -194,6 +280,7 @@ func (s *Server) Register(mux Registrar) {
 	mux.Handle("GET /jobs", http.HandlerFunc(s.handleList))
 	mux.Handle("GET /jobs/{id}", http.HandlerFunc(s.handleStatus))
 	mux.Handle("GET /jobs/{id}/results", http.HandlerFunc(s.handleResults))
+	mux.Handle("GET /jobs/{id}/trace", http.HandlerFunc(s.handleTrace))
 	mux.Handle("GET /storestats", http.HandlerFunc(s.handleStoreStats))
 }
 
@@ -211,21 +298,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: no cells", http.StatusBadRequest)
 		return
 	}
-	j := &job{cells: req.Cells, state: "running"}
+	tid, ok := trace.ParseID(r.Header.Get(TraceHeader))
+	if !ok {
+		tid = trace.NewID()
+	}
+	j := s.newJob(req.Cells, tid)
+	if s.cfg.Progress != nil {
+		s.cfg.Progress.AddTotal(len(req.Cells))
+	}
+	s.jobsSubmitted.Add(1)
+	s.log.Info("job submitted", "job", j.id, "trace", tid.String(),
+		"cells", len(req.Cells), "propagated", ok)
+	go s.runJob(j)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": j.id, "trace": tid.String()})
+}
+
+// newJob registers a job and opens its trace: the span buffer is sized
+// once at admission (root + per-cell worst case of cell, queue, two
+// lookups, flight wait, compute with per-attempt children, put, and
+// stream delivery), so tracing never allocates while the job runs.
+func (s *Server) newJob(cells []CellSpec, tid trace.ID) *job {
+	j := &job{cells: cells, state: "running"}
 	j.cond = sync.NewCond(&j.mu)
+	j.trace = trace.New(tid, 2+len(cells)*(10+s.cfg.Retries))
+	j.trace.SetOnEnd(s.lat.observe)
 	s.mu.Lock()
 	s.seq++
 	j.id = fmt.Sprintf("j%d", s.seq)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
-	if s.cfg.Progress != nil {
-		s.cfg.Progress.AddTotal(len(req.Cells))
+	j.root = j.trace.Root("job").Uint("cells", uint64(len(cells)))
+	j.cellCtx = make([]trace.Ctx, len(cells))
+	j.queueCtx = make([]trace.Ctx, len(cells))
+	for i := range cells {
+		j.cellCtx[i] = j.root.Start("cell").Uint("index", uint64(i))
+		j.queueCtx[i] = j.cellCtx[i].Start("queue")
 	}
-	go s.runJob(j)
-
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]string{"id": j.id})
+	return j
 }
 
 func (s *Server) lookup(id string) *job {
@@ -282,29 +394,96 @@ func (s *Server) handleStoreStats(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(s.store.Counters())
 }
 
+// handleTrace exports a job's request trace as Chrome trace_event
+// JSON, loadable in Perfetto.  Traces of running jobs export too —
+// open spans are closed against "now" and flagged.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := j.trace.WriteChrome(w); err != nil {
+		s.log.Warn("trace export failed", "job", j.id, "error", err.Error())
+	}
+}
+
+// WriteServiceMetrics appends the job layer's Prometheus text
+// exposition — job/cell gauges plus the per-stage service latency
+// histograms fed by completed trace spans — and is meant to be
+// registered with internal/obs/server.AppendMetrics so one /metrics
+// scrape covers the simulator aggregate and the service.
+func (s *Server) WriteServiceMetrics(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("# service (job layer) metrics\n")
+	fmt.Fprintf(bw, "svc_jobs_submitted %d\n", s.jobsSubmitted.Load())
+	fmt.Fprintf(bw, "svc_jobs_done %d\n", s.jobsDone.Load())
+	if p := s.cfg.Progress; p != nil {
+		queued, inflight := p.Depths()
+		fmt.Fprintf(bw, "svc_cells_queued %d\n", queued)
+		fmt.Fprintf(bw, "svc_cells_inflight %d\n", inflight)
+	}
+	names, hists := s.lat.snapshot()
+	for _, name := range names {
+		h := hists[name]
+		if name == "job" {
+			obs.HistText(bw, "svc_job_latency_us", "", &h)
+			continue
+		}
+		obs.HistText(bw, "svc_stage_latency_us", `stage="`+name+`"`, &h)
+	}
+	bw.Flush()
+}
+
 // handleResults streams a job's CellResults as NDJSON, flushing as
 // cells land, until every cell has been written and the job is done.
+// A disconnecting client cancels the request context; the AfterFunc
+// broadcast (under the job lock, so a waiter between its ctx check and
+// Wait cannot miss it) unblocks the cond wait and the handler returns
+// instead of leaking a goroutine parked on a job nobody is reading.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
 		http.Error(w, "no such job", http.StatusNotFound)
 		return
 	}
+	ctx := r.Context()
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
+	// Flush the headers before the first (possibly long) wait so the
+	// client's request call returns as soon as the stream is open.
+	w.WriteHeader(http.StatusOK)
+	if fl != nil {
+		fl.Flush()
+	}
 	next := 0
 	for {
 		j.mu.Lock()
-		for next >= len(j.results) && j.state != "done" {
+		for next >= len(j.results) && j.state != "done" && ctx.Err() == nil {
 			j.cond.Wait()
 		}
 		batch := j.results[next:]
 		next = len(j.results)
 		done := j.state == "done"
 		j.mu.Unlock()
+		if ctx.Err() != nil {
+			s.log.Debug("results stream disconnected", "job", j.id,
+				"trace", j.trace.ID().String(), "streamed", next-len(batch))
+			return
+		}
 		for i := range batch {
-			if err := enc.Encode(&batch[i]); err != nil {
+			st := j.cellCtx[batch[i].Index].Start("stream")
+			err := enc.Encode(&batch[i])
+			st.End()
+			if err != nil {
 				return // client went away
 			}
 		}
@@ -329,6 +508,7 @@ func (j *job) status() JobStatus {
 		Computes: j.computes,
 		Failed:   j.failed,
 		Errors:   append([]string(nil), j.errs...),
+		Trace:    j.trace.ID().String(),
 	}
 }
 
@@ -337,10 +517,11 @@ func (j *job) status() JobStatus {
 // other running jobs (or already on disk) are never simulated twice.
 func (s *Server) runJob(j *job) {
 	sweep.Run(len(j.cells), s.cfg.Workers, func(i int) {
+		j.queueCtx[i].End() // worker picked the cell up: queue wait over
 		if s.cfg.Progress != nil {
 			s.cfg.Progress.StartCell(cellName(j.cells[i]))
 		}
-		res := s.runCell(j.cells[i], i)
+		res := s.runCell(j.cells[i], i, j.cellCtx[i])
 		if s.cfg.Progress != nil {
 			var insts uint64
 			if res.Stats != nil {
@@ -352,6 +533,15 @@ func (s *Server) runJob(j *job) {
 		}
 		if s.cfg.Publish != nil && res.Error == "" && res.Stats != nil {
 			s.cfg.Publish(s.agg.add(res.Stats, res.Metrics))
+		}
+		cc := j.cellCtx[i]
+		if res.Cached {
+			cc.Uint("cached", 1)
+		}
+		if res.Error != "" {
+			cc.Str("error", res.Error)
+			s.log.Warn("cell failed", "job", j.id, "trace", j.trace.ID().String(),
+				"cell", res.Index, "name", cellName(j.cells[i]), "error", res.Error)
 		}
 		j.mu.Lock()
 		j.results = append(j.results, res)
@@ -366,11 +556,18 @@ func (s *Server) runJob(j *job) {
 		}
 		j.cond.Broadcast()
 		j.mu.Unlock()
+		cc.End()
 	})
 	j.mu.Lock()
 	j.state = "done"
+	hits, computes, failed := j.hits, j.computes, j.failed
 	j.cond.Broadcast()
 	j.mu.Unlock()
+	j.root.End()
+	s.jobsDone.Add(1)
+	s.log.Info("job done", "job", j.id, "trace", j.trace.ID().String(),
+		"cells", len(j.cells), "hits", hits, "computes", computes, "failed", failed,
+		"elapsed", j.trace.Elapsed().String())
 }
 
 // cellName renders a cell for progress display and error reports.
@@ -382,8 +579,9 @@ func cellName(c CellSpec) string {
 	return name
 }
 
-// runCell resolves, keys, and executes (or serves) one cell.
-func (s *Server) runCell(c CellSpec, idx int) CellResult {
+// runCell resolves, keys, and executes (or serves) one cell; tc is the
+// cell's span, under which the store phases and compute attempts land.
+func (s *Server) runCell(c CellSpec, idx int, tc trace.Ctx) CellResult {
 	progs, err := workload.MixPrograms(c.Workloads)
 	if err != nil {
 		return CellResult{Index: idx, Error: err.Error()}
@@ -402,11 +600,11 @@ func (s *Server) runCell(c CellSpec, idx int) CellResult {
 		}
 	}
 	key := store.CellKey(c.Machine, c.Features, store.HashPrograms(progs), insts, sampKey)
-	rec, cached, err := s.store.GetOrCompute(key, func() (*store.Record, error) {
+	rec, cached, err := s.store.GetOrComputeTraced(key, tc, func(cs trace.Ctx) (*store.Record, error) {
 		if c.Sampling != nil {
-			return s.computeSampled(c, insts)
+			return s.computeSampled(c, insts, cs)
 		}
-		return s.computeDetailed(c, insts)
+		return s.computeDetailed(c, insts, cs)
 	})
 	if err != nil {
 		return CellResult{Index: idx, Key: key, Error: err.Error()}
@@ -426,8 +624,9 @@ func (s *Server) runCell(c CellSpec, idx int) CellResult {
 // server down, and transient hook failures get cfg.Retries fresh
 // attempts (with fresh telemetry each time, so a partially accumulated
 // failed attempt never leaks into the stored record).
-func (s *Server) computeDetailed(c CellSpec, insts uint64) (*store.Record, error) {
+func (s *Server) computeDetailed(c CellSpec, insts uint64, cs trace.Ctx) (*store.Record, error) {
 	for attempt := 0; ; attempt++ {
+		at := cs.Start("attempt").Uint("attempt", uint64(attempt))
 		tel := &obs.Metrics{Hists: true}
 		res, err := recyclesim.RunBatchContext(s.ctx, []recyclesim.Options{{
 			Machine:   c.Machine,
@@ -438,8 +637,10 @@ func (s *Server) computeDetailed(c CellSpec, insts uint64) (*store.Record, error
 			Telemetry: tel,
 		}}, recyclesim.BatchConfig{Workers: 1})
 		if err == nil {
+			at.End()
 			return &store.Record{Stats: res[0], Metrics: tel}, nil
 		}
+		at.Error(err).End()
 		if attempt >= s.cfg.Retries || errors.Is(err, recyclesim.ErrCanceled) || errors.Is(err, recyclesim.ErrDeadline) {
 			return nil, err
 		}
@@ -450,7 +651,7 @@ func (s *Server) computeDetailed(c CellSpec, insts uint64) (*store.Record, error
 // job's cells already fan out across the pool, and cell-level
 // parallelism keeps results worker-count invariant (matching the
 // cmd/experiments policy).
-func (s *Server) computeSampled(c CellSpec, insts uint64) (*store.Record, error) {
+func (s *Server) computeSampled(c CellSpec, insts uint64, cs trace.Ctx) (*store.Record, error) {
 	samp := recyclesim.Sampling{Workers: 1}
 	if c.Sampling != nil {
 		samp.Period = c.Sampling.Period
@@ -459,6 +660,7 @@ func (s *Server) computeSampled(c CellSpec, insts uint64) (*store.Record, error)
 		samp.Confidence = c.Sampling.Confidence
 	}
 	for attempt := 0; ; attempt++ {
+		at := cs.Start("attempt").Uint("attempt", uint64(attempt))
 		res, err := recyclesim.RunSampledContext(s.ctx, recyclesim.Options{
 			Machine:   c.Machine,
 			Features:  c.Features,
@@ -467,8 +669,10 @@ func (s *Server) computeSampled(c CellSpec, insts uint64) (*store.Record, error)
 			Sampling:  &samp,
 		})
 		if err == nil {
+			at.End()
 			return &store.Record{Sampled: res}, nil
 		}
+		at.Error(err).End()
 		if attempt >= s.cfg.Retries || errors.Is(err, recyclesim.ErrCanceled) || errors.Is(err, recyclesim.ErrDeadline) {
 			return nil, err
 		}

@@ -206,6 +206,7 @@ var NonSimPackages = []string{
 	"internal/lint",           // the analysis engine itself (walks dirs, maps)
 	"internal/lint/callgraph", // ditto
 	"internal/obs/server",     // live observability: wall clock + goroutines by design
+	"internal/obs/trace",      // request tracing: wall clock + rand IDs by design
 	"internal/store",          // host-side persistence: filesystem + hashing
 }
 

@@ -266,6 +266,19 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 // cumulative `_bucket{le="..."}` lines plus `_sum`, `_count` and a
 // non-standard `_max` gauge.
 func writeHistText(bw *bufio.Writer, name string, h *Hist) {
+	HistText(bw, name, "", h)
+}
+
+// HistText writes one histogram as Prometheus text exposition lines:
+// cumulative `_bucket{le="..."}` lines plus `_sum`, `_count` and a
+// non-standard `_max` gauge.  labels, when non-empty, is a preformatted
+// `key="value"` list merged into every line's label set; the job
+// server reuses this for its per-stage service latency histograms.
+func HistText(bw *bufio.Writer, name, labels string, h *Hist) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum uint64
 	for i := range h.Buckets {
 		cum += h.Buckets[i]
@@ -273,11 +286,15 @@ func writeHistText(bw *bufio.Writer, name string, h *Hist) {
 		if upper, ok := BucketUpper(i); ok {
 			le = strconv.FormatUint(upper, 10)
 		}
-		bw.WriteString(name + "_bucket{le=\"" + le + "\"} " + strconv.FormatUint(cum, 10) + "\n")
+		bw.WriteString(name + "_bucket{" + labels + sep + "le=\"" + le + "\"} " + strconv.FormatUint(cum, 10) + "\n")
 	}
-	bw.WriteString(name + "_sum " + strconv.FormatUint(h.Sum, 10) + "\n")
-	bw.WriteString(name + "_count " + strconv.FormatUint(h.Count, 10) + "\n")
-	bw.WriteString(name + "_max " + strconv.FormatUint(h.Max, 10) + "\n")
+	suffix := " "
+	if labels != "" {
+		suffix = "{" + labels + "} "
+	}
+	bw.WriteString(name + "_sum" + suffix + strconv.FormatUint(h.Sum, 10) + "\n")
+	bw.WriteString(name + "_count" + suffix + strconv.FormatUint(h.Count, 10) + "\n")
+	bw.WriteString(name + "_max" + suffix + strconv.FormatUint(h.Max, 10) + "\n")
 }
 
 // formatFloat renders a float deterministically (shortest round-trip

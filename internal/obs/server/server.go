@@ -4,9 +4,11 @@
 //
 //	/metrics   the Prometheus text exposition of the most recently
 //	           published snapshot (internal/obs.Snapshot.WriteText)
-//	/progress  JSON sweep progress: cells done/total, current cell,
-//	           simulated instructions and their wall-clock rate
+//	/progress  JSON sweep progress: cells done/total, queue depths,
+//	           current cell, simulated instructions and their rate
 //	/healthz   liveness probe ("ok")
+//	/buildinfo JSON build identity from runtime/debug.ReadBuildInfo
+//	           (go version, module path/version, VCS revision)
 //	/debug/pprof/...  the standard net/http/pprof handlers
 //
 // Publishers hand the server immutable snapshot copies via Publish
@@ -22,9 +24,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -38,7 +42,8 @@ type Server struct {
 	snap  atomic.Pointer[obs.Snapshot]
 	start time.Time
 
-	extra []route
+	extra   []route
+	appends []func(io.Writer)
 
 	ln   net.Listener
 	srv  *http.Server
@@ -72,6 +77,15 @@ func (s *Server) Handle(pattern string, h http.Handler) {
 	s.extra = append(s.extra, route{pattern: pattern, handler: h})
 }
 
+// AppendMetrics registers a writer that contributes extra Prometheus
+// text exposition after the published snapshot on every /metrics
+// scrape (the recycled job server appends its service latency
+// histograms and gauges this way).  Like Handle, it must be called
+// before Start.
+func (s *Server) AppendMetrics(f func(io.Writer)) {
+	s.appends = append(s.appends, f)
+}
+
 // Start binds addr (e.g. ":0" for an ephemeral port) and serves in a
 // background goroutine until Close.
 func (s *Server) Start(addr string) error {
@@ -81,6 +95,7 @@ func (s *Server) Start(addr string) error {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/buildinfo", s.handleBuildInfo)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -136,16 +151,58 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// buildInfoDoc is the /buildinfo JSON schema: enough to identify a
+// deployed daemon (what module, which commit, dirty or not).
+type buildInfoDoc struct {
+	GoVersion   string `json:"go_version"`
+	Path        string `json:"path"`
+	Module      string `json:"module"`
+	Version     string `json:"version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		http.Error(w, `{"error":"no build info"}`, http.StatusInternalServerError)
+		return
+	}
+	doc := buildInfoDoc{
+		GoVersion: info.GoVersion,
+		Path:      info.Path,
+		Module:    info.Main.Path,
+		Version:   info.Main.Version,
+	}
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			doc.VCSRevision = kv.Value
+		case "vcs.time":
+			doc.VCSTime = kv.Value
+		case "vcs.modified":
+			doc.VCSModified = kv.Value == "true"
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&doc)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	sn := s.snap.Load()
 	if sn == nil {
 		// Comment-only output is still valid Prometheus exposition.
 		fmt.Fprintln(w, "# no snapshot published yet")
+	} else if err := sn.WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if err := sn.WriteText(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	for _, f := range s.appends {
+		f(w)
 	}
 }
 
@@ -153,6 +210,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 type progressDoc struct {
 	CellsDone      int64   `json:"cells_done"`
 	CellsTotal     int64   `json:"cells_total"`
+	CellsQueued    int64   `json:"cells_queued"`
+	CellsInFlight  int64   `json:"cells_in_flight"`
 	CurrentCell    string  `json:"current_cell"`
 	SimInsts       uint64  `json:"sim_insts"`
 	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
@@ -163,6 +222,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	var doc progressDoc
 	if s.prog != nil {
 		doc.CellsDone, doc.CellsTotal, doc.SimInsts, doc.CurrentCell = s.prog.Snapshot()
+		doc.CellsQueued, doc.CellsInFlight = s.prog.Depths()
 	}
 	doc.ElapsedSec = time.Since(s.start).Seconds()
 	if doc.ElapsedSec > 0 {

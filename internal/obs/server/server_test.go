@@ -142,3 +142,68 @@ func TestHandleMountsExtraRoutes(t *testing.T) {
 		t.Errorf("built-in /healthz broken after Handle: %d %q", code, body)
 	}
 }
+
+// TestBuildInfo: deployed daemons identify themselves (module path is
+// always present; VCS fields depend on how the test binary was built).
+func TestBuildInfo(t *testing.T) {
+	s := startServer(t, nil)
+	code, body, ctype := get(t, s, "/buildinfo")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("GET /buildinfo = %d %q", code, ctype)
+	}
+	var doc struct {
+		GoVersion string `json:"go_version"`
+		Module    string `json:"module"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/buildinfo is not JSON: %v\n%s", err, body)
+	}
+	if doc.GoVersion == "" || doc.Module != "recyclesim" {
+		t.Errorf("/buildinfo = %+v, want go version and module recyclesim", doc)
+	}
+}
+
+// TestProgressDepthGauges: /progress carries the queued/in-flight
+// gauges derived from the sweep counters.
+func TestProgressDepthGauges(t *testing.T) {
+	prog := &sweep.Progress{}
+	prog.SetTotal(7)
+	prog.StartCell("a")
+	prog.StartCell("b")
+	prog.FinishCell(10)
+	s := startServer(t, prog)
+	_, body, _ := get(t, s, "/progress")
+	var doc struct {
+		Queued   int64 `json:"cells_queued"`
+		InFlight int64 `json:"cells_in_flight"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Queued != 5 || doc.InFlight != 1 {
+		t.Errorf("/progress depths = %+v, want queued=5 in_flight=1", doc)
+	}
+}
+
+// TestAppendMetrics: registered appenders contribute extra exposition
+// lines after the snapshot, and before any snapshot is published.
+func TestAppendMetrics(t *testing.T) {
+	s := New(nil)
+	s.AppendMetrics(func(w io.Writer) {
+		io.WriteString(w, "svc_jobs_submitted 3\n")
+	})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	_, body, _ := get(t, s, "/metrics")
+	if !strings.Contains(body, "svc_jobs_submitted 3") {
+		t.Errorf("pre-publish /metrics missing appended lines:\n%s", body)
+	}
+	s.Publish(&obs.Snapshot{Name: "unit", Stats: &stats.Sim{Cycles: 1}, Metrics: &obs.Metrics{}})
+	_, body, _ = get(t, s, "/metrics")
+	if !strings.Contains(body, "# run unit") || !strings.Contains(body, "svc_jobs_submitted 3") {
+		t.Errorf("post-publish /metrics missing snapshot or appended lines:\n%s", body)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"recyclesim/internal/config"
+	"recyclesim/internal/obs/trace"
 	"recyclesim/internal/stats"
 	"recyclesim/internal/workload"
 )
@@ -286,5 +287,159 @@ func TestGetOrComputeDiskHitAfterCompute(t *testing.T) {
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+// spanNames projects a trace onto its span-name sequence (allocation
+// order) for the phase-attribution assertions below.
+func spanNames(tr *trace.Trace) []string {
+	var out []string
+	for _, sp := range tr.Spans() {
+		out = append(out, sp.Name)
+	}
+	return out
+}
+
+// TestTracedComputePath: a miss records lookup (miss), the compute
+// body (handed its own span ctx for per-attempt children), and the
+// put, all under the caller's parent span.
+func TestTracedComputePath(t *testing.T) {
+	s := testStore(t)
+	key := testKey(t, nil)
+	tr := trace.New(1, 32)
+	cell := tr.Root("cell")
+	_, cached, err := s.GetOrComputeTraced(key, cell, func(cs trace.Ctx) (*Record, error) {
+		cs.Start("attempt").Uint("attempt", 0).End()
+		return &Record{Stats: &stats.Sim{Cycles: 3}}, nil
+	})
+	if err != nil || cached {
+		t.Fatalf("cached=%v err=%v", cached, err)
+	}
+	cell.End()
+	// First lookup misses, then the flight leader re-checks the disk
+	// before computing: two lookup spans, the second marked recheck.
+	want := []string{"cell", "lookup", "lookup", "compute", "attempt", "put"}
+	if got := spanNames(tr); !reflect.DeepEqual(got, want) {
+		t.Errorf("span sequence %v, want %v", got, want)
+	}
+	spans := tr.Spans()
+	if _, ok := spans[1].Attr("hit"); ok {
+		t.Error("miss lookup carries a hit attribute")
+	}
+	if a, ok := spans[2].Attr("recheck"); !ok || a.U != 1 {
+		t.Errorf("second lookup recheck attr = %+v, %v", a, ok)
+	}
+	if spans[4].Parent != spans[3].ID {
+		t.Error("attempt span not parented under compute")
+	}
+
+	// The follow-up request is a disk hit with exactly one lookup span.
+	tr2 := trace.New(2, 32)
+	cell2 := tr2.Root("cell")
+	_, cached, err = s.GetOrComputeTraced(key, cell2, func(trace.Ctx) (*Record, error) {
+		t.Error("hit path recomputed")
+		return nil, nil
+	})
+	if err != nil || !cached {
+		t.Fatalf("cached=%v err=%v", cached, err)
+	}
+	if got := spanNames(tr2); !reflect.DeepEqual(got, []string{"cell", "lookup"}) {
+		t.Errorf("hit span sequence %v", got)
+	}
+	if a, ok := tr2.Spans()[1].Attr("hit"); !ok || a.U != 1 {
+		t.Errorf("hit lookup attr = %+v, %v", a, ok)
+	}
+}
+
+// TestTracedFlightShare: a caller blocked on another's computation
+// records a flight-wait span instead of compute/put.
+func TestTracedFlightShare(t *testing.T) {
+	s := testStore(t)
+	key := testKey(t, nil)
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.GetOrCompute(key, func() (*Record, error) {
+			close(entered)
+			<-gate
+			return &Record{Stats: &stats.Sim{Cycles: 1}}, nil
+		})
+	}()
+	<-entered
+	tr := trace.New(3, 32)
+	cell := tr.Root("cell")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, cached, err := s.GetOrComputeTraced(key, cell, nil); err != nil || !cached {
+			t.Errorf("share: cached=%v err=%v", cached, err)
+		}
+	}()
+	// Wait for the follower to record its flight-wait span, then let
+	// the leader finish.
+	for {
+		if names := spanNames(tr); len(names) == 3 {
+			break
+		}
+	}
+	close(gate)
+	<-done
+	wg.Wait()
+	if got := spanNames(tr); !reflect.DeepEqual(got, []string{"cell", "lookup", "flight-wait"}) {
+		t.Errorf("span sequence %v", got)
+	}
+}
+
+// TestTracedCorruptLookup: a refused record is attributed on the
+// lookup span.
+func TestTracedCorruptLookup(t *testing.T) {
+	s := testStore(t)
+	key := testKey(t, nil)
+	if err := s.Put(key, &Record{Stats: &stats.Sim{Cycles: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(4, 32)
+	_, cached, err := s.GetOrComputeTraced(key, tr.Root("cell"), func(trace.Ctx) (*Record, error) {
+		return &Record{Stats: &stats.Sim{Cycles: 2}}, nil
+	})
+	if err != nil || cached {
+		t.Fatalf("cached=%v err=%v", cached, err)
+	}
+	if a, ok := tr.Spans()[1].Attr("corrupt"); !ok || a.U != 1 {
+		t.Errorf("corrupt attr = %+v, %v (spans %v)", a, ok, spanNames(tr))
+	}
+}
+
+// TestTracedHitPathAllocParity is the tentpole witness: with tracing
+// disabled (the zero Ctx), the store hit path allocates exactly what
+// the untraced GetOrCompute allocates — instrumentation is free when
+// off.
+func TestTracedHitPathAllocParity(t *testing.T) {
+	s := testStore(t)
+	key := testKey(t, nil)
+	if _, _, err := s.GetOrCompute(key, func() (*Record, error) {
+		return &Record{Stats: &stats.Sim{Cycles: 7}}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nop := func() (*Record, error) { return nil, nil }
+	plain := testing.AllocsPerRun(200, func() {
+		if _, cached, _ := s.GetOrCompute(key, nop); !cached {
+			t.Fatal("miss on warmed key")
+		}
+	})
+	traced := testing.AllocsPerRun(200, func() {
+		if _, cached, _ := s.GetOrComputeTraced(key, trace.Ctx{}, nil); !cached {
+			t.Fatal("miss on warmed key")
+		}
+	})
+	if traced > plain {
+		t.Errorf("disabled tracing costs %.1f allocs/hit vs %.1f untraced", traced, plain)
 	}
 }

@@ -12,10 +12,11 @@ import "sync/atomic"
 // time, which simulation packages must not read.  Readers compute them
 // from their own clocks.
 type Progress struct {
-	total atomic.Int64
-	done  atomic.Int64
-	insts atomic.Uint64
-	cur   atomic.Pointer[string]
+	total   atomic.Int64
+	done    atomic.Int64
+	started atomic.Int64
+	insts   atomic.Uint64
+	cur     atomic.Pointer[string]
 }
 
 // SetTotal publishes the number of cells the sweep will run.
@@ -29,7 +30,10 @@ func (p *Progress) AddTotal(n int) { p.total.Add(int64(n)) }
 // StartCell publishes the name of a cell a worker just started.  With
 // several workers the current cell is simply the most recently started
 // one.
-func (p *Progress) StartCell(name string) { p.cur.Store(&name) }
+func (p *Progress) StartCell(name string) {
+	p.started.Add(1)
+	p.cur.Store(&name)
+}
 
 // FinishCell marks one cell done and adds its simulated instructions.
 func (p *Progress) FinishCell(insts uint64) {
@@ -41,6 +45,21 @@ func (p *Progress) FinishCell(insts uint64) {
 // publishers (one cell, periodically republished totals) use this
 // instead of FinishCell's final add.
 func (p *Progress) SetInsts(n uint64) { p.insts.Store(n) }
+
+// Depths derives the service gauges from the published counters:
+// queued is cells admitted but not yet started by a worker, inflight is
+// cells started but not yet finished.  Momentary negatives (counters
+// are read separately) clamp to zero.
+func (p *Progress) Depths() (queued, inflight int64) {
+	total, started, done := p.total.Load(), p.started.Load(), p.done.Load()
+	if queued = total - started; queued < 0 {
+		queued = 0
+	}
+	if inflight = started - done; inflight < 0 {
+		inflight = 0
+	}
+	return queued, inflight
+}
 
 // Snapshot returns a consistent-enough view for display: cells done and
 // total, cumulative simulated instructions, and the most recently

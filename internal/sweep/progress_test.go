@@ -57,3 +57,32 @@ func TestProgressConcurrent(t *testing.T) {
 			doneCells, total, insts, workers*cells, workers*cells, workers*cells*10)
 	}
 }
+
+// TestProgressDepths: queued/inflight gauges derive from the admitted,
+// started, and finished counters.
+func TestProgressDepths(t *testing.T) {
+	var p Progress
+	if q, f := p.Depths(); q != 0 || f != 0 {
+		t.Errorf("zero Progress depths = (%d,%d), want zeros", q, f)
+	}
+	p.SetTotal(5)
+	if q, f := p.Depths(); q != 5 || f != 0 {
+		t.Errorf("after admit: depths = (%d,%d), want (5,0)", q, f)
+	}
+	p.StartCell("a")
+	p.StartCell("b")
+	if q, f := p.Depths(); q != 3 || f != 2 {
+		t.Errorf("two started: depths = (%d,%d), want (3,2)", q, f)
+	}
+	p.FinishCell(10)
+	if q, f := p.Depths(); q != 3 || f != 1 {
+		t.Errorf("one finished: depths = (%d,%d), want (3,1)", q, f)
+	}
+	// Single-run publishers call FinishCell without StartCell; the
+	// derived gauges clamp instead of going negative.
+	var solo Progress
+	solo.FinishCell(1)
+	if q, f := solo.Depths(); q != 0 || f != 0 {
+		t.Errorf("clamped depths = (%d,%d), want zeros", q, f)
+	}
+}
