@@ -50,6 +50,7 @@ fuzz:
 	$(GO) test ./internal/asm/ -fuzz FuzzAssemble -fuzztime 10s
 	$(GO) test ./internal/config/ -fuzz FuzzMachineValidate -fuzztime 10s
 	$(GO) test ./internal/config/ -fuzz FuzzFeaturesValidate -fuzztime 10s
+	$(GO) test ./internal/store/ -fuzz FuzzStoreDecode -fuzztime 10s
 
 smoke:
 	$(GO) run ./cmd/recyclesim -workloads compress -insts 20000 -flightrec 256 -metrics - >/dev/null

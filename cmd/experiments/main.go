@@ -79,6 +79,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	keepGoing := fs.Bool("keep-going", false, "keep computing remaining cells after a cell fails (failed cells print as zeros; exit stays nonzero)")
 	checkpointPath := fs.String("checkpoint", "", "journal completed cells to this file and resume from it, skipping cells it already holds")
 	remote := fs.String("remote", "", "run the sweep on a recycled job server at this base URL instead of simulating locally (failed cells print as zeros, like -keep-going)")
+	remoteToken := fs.String("remote-token", "", "bearer token for the job server (required when recycled runs with -token)")
 	traceOut := fs.String("trace-out", "", "save the remote job's request trace (Chrome trace_event JSON, for Perfetto) to this file (requires -remote)")
 	crashDir := fs.String("crash-dir", "", "persist a crash bundle here for any cell that panics or livelocks")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -116,6 +117,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *traceOut != "" && *remote == "" {
 		fmt.Fprintln(stderr, "experiments: -trace-out requires -remote (only service sweeps are traced)")
+		return 2
+	}
+	if *remoteToken != "" && *remote == "" {
+		fmt.Fprintln(stderr, "experiments: -remote-token requires -remote")
 		return 2
 	}
 	if *cpuprofile != "" {
@@ -200,7 +205,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var remoteErr error
 	compute := func() { r.computeAll(ctx, *workers) }
 	if *remote != "" {
-		compute = func() { remoteErr = computeRemote(ctx, r, *remote, *traceOut, stderr) }
+		compute = func() { remoteErr = computeRemote(ctx, r, *remote, *remoteToken, *traceOut, stderr) }
 	}
 	if *progress {
 		runWithMeter(stderr, r, compute)

@@ -27,7 +27,9 @@ import (
 // the rest of the sweep completes.
 // traceOut, when non-empty, saves the job's Chrome trace_event JSON
 // there after the sweep; the trace URL prints on stderr either way.
-func computeRemote(ctx context.Context, r *runner, baseURL, traceOut string, stderr io.Writer) error {
+// token, when non-empty, authenticates against a server running with
+// -token.
+func computeRemote(ctx context.Context, r *runner, baseURL, token, traceOut string, stderr io.Writer) error {
 	r.results = make([]*stats.Sim, len(r.jobs))
 	r.metrics = make([]*obs.Metrics, len(r.jobs))
 	r.errs = make([]error, len(r.jobs))
@@ -69,6 +71,7 @@ func computeRemote(ctx context.Context, r *runner, baseURL, traceOut string, std
 
 	n := len(r.jobs)
 	client := jobs.NewClient(baseURL)
+	client.Token = token
 	st, err := client.Run(ctx, jobs.JobRequest{Cells: specs}, func(res jobs.CellResult) error {
 		i := res.Index
 		switch {

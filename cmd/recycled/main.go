@@ -8,7 +8,19 @@
 //	GET  /jobs/{id}/results  NDJSON per-cell result stream
 //	GET  /jobs/{id}/trace    request trace (Chrome trace_event JSON)
 //	GET  /storestats         store hit/compute/corruption counters
+//	POST /fleet/...          worker protocol (register/lease/heartbeat/
+//	                         complete/deregister; cmd/recycleworker)
+//	GET  /fleet/workers      registered worker listing
 //	GET  /metrics /progress /healthz /buildinfo /debug/pprof/...
+//
+// With -token the job API requires a client bearer token (with
+// optional per-client in-flight cell quotas and request rate limits;
+// violations get typed 401/429 JSON errors), and with -worker-token
+// the fleet API requires a worker bearer token.  Worker processes
+// (cmd/recycleworker) pull cells under time-bounded leases; a worker
+// that dies or stalls has its cells requeued automatically, and with
+// no workers attached every cell computes in-process — same results
+// either way, byte for byte.
 //
 // Every result is keyed by the cell's full content (machine, features,
 // workloads, budget, sampling schedule and confidence), written to the
@@ -33,8 +45,12 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"time"
+
+	"recyclesim/internal/fleet"
 	"recyclesim/internal/jobs"
 	"recyclesim/internal/obs/server"
 	"recyclesim/internal/store"
@@ -54,6 +70,14 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	storeDir := fs.String("store", "", "directory for the durable result store (required; created if missing)")
 	workers := fs.Int("workers", 0, "per-job cell parallelism (0 = GOMAXPROCS)")
 	retries := fs.Int("retries", 0, "extra attempts a failed cell gets before its error is recorded")
+	retryDelay := fs.Duration("retry-delay", 250*time.Millisecond, "base delay of the capped exponential backoff between cell retries (0 = retry immediately)")
+	retryDelayMax := fs.Duration("retry-delay-max", 10*time.Second, "backoff delay cap")
+	token := fs.String("token", "", "bearer token(s) clients must present on the job API, comma-separated (empty = open)")
+	workerToken := fs.String("worker-token", "", "bearer token workers must present on the fleet API (empty = open)")
+	maxInflight := fs.Int("max-inflight-cells", 0, "per-client in-flight cell quota (0 = unlimited)")
+	rateLimit := fs.Float64("rate-limit", 0, "per-client job-API requests per second (0 = unlimited)")
+	rateBurst := fs.Int("rate-burst", 0, "rate-limit burst size (0 = ceil of -rate-limit)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "worker lease TTL (heartbeats renew it; an expired lease requeues its cell)")
 	logLevel := fs.String("log-level", "info", "minimum level for the JSON logs on stderr (debug, info, warn, error)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,15 +106,51 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	prog := &sweep.Progress{}
 	obsSrv := server.New(prog)
+
+	// The fleet dispatcher always runs: with no workers attached it
+	// degrades to in-process compute through the same canonical
+	// executor, so attaching workers later changes throughput, never
+	// results.
+	disp := fleet.NewDispatcher(fleet.Config{
+		LeaseTTL:      *leaseTTL,
+		Retries:       *retries,
+		RetryDelay:    *retryDelay,
+		RetryDelayMax: *retryDelayMax,
+		Log:           log,
+	})
+	disp.StartReaper(ctx, 0)
+
+	var auth *jobs.AuthConfig
+	if *token != "" || *maxInflight > 0 || *rateLimit > 0 {
+		auth = &jobs.AuthConfig{
+			MaxInFlightCells: *maxInflight,
+			RatePerSec:       *rateLimit,
+			Burst:            *rateBurst,
+		}
+		if *token != "" {
+			for _, tok := range strings.Split(*token, ",") {
+				if tok = strings.TrimSpace(tok); tok != "" {
+					auth.Tokens = append(auth.Tokens, tok)
+				}
+			}
+		}
+	}
+
 	js := jobs.NewServer(ctx, st, jobs.Config{
-		Workers:  *workers,
-		Retries:  *retries,
-		Progress: prog,
-		Publish:  obsSrv.Publish,
-		Log:      log,
+		Workers:       *workers,
+		Retries:       *retries,
+		RetryDelay:    *retryDelay,
+		RetryDelayMax: *retryDelayMax,
+		Fleet:         disp,
+		Auth:          auth,
+		Progress:      prog,
+		Publish:       obsSrv.Publish,
+		Log:           log,
 	})
 	js.Register(obsSrv)
+	disp.Register(obsSrv, *workerToken)
 	obsSrv.AppendMetrics(js.WriteServiceMetrics)
+	obsSrv.AppendMetrics(disp.WriteMetrics)
 	if err := obsSrv.Start(*listen); err != nil {
 		fmt.Fprintf(stderr, "recycled: -listen: %v\n", err)
 		return 2
@@ -101,7 +161,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// scripts parse the address out of it (required with -listen :0).
 	fmt.Fprintf(stdout, "recycled: serving on http://%s (store %s)\n", obsSrv.Addr(), *storeDir)
 	log.Info("recycled serving", "addr", obsSrv.Addr(), "store", *storeDir,
-		"workers", *workers, "retries", *retries)
+		"workers", *workers, "retries", *retries,
+		"auth", auth != nil, "worker_auth", *workerToken != "", "lease_ttl", leaseTTL.String())
 
 	<-ctx.Done()
 	log.Info("recycled shutting down")

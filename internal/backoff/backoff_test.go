@@ -1,0 +1,99 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	base, max := 100*time.Millisecond, 1*time.Second
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second,
+		1 * time.Second, // capped from here on
+	}
+	for attempt, w := range want {
+		if got := Delay(base, max, attempt, nil); got != w {
+			t.Errorf("Delay(attempt=%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDelayZeroBaseDisables(t *testing.T) {
+	for attempt := 0; attempt < 4; attempt++ {
+		if got := Delay(0, time.Second, attempt, Rand(1)); got != 0 {
+			t.Errorf("Delay(base=0, attempt=%d) = %v, want 0", attempt, got)
+		}
+	}
+}
+
+func TestDelayDefaultMax(t *testing.T) {
+	// max <= 0 defaults to 64*base: attempt 20 would be base<<20 raw.
+	if got, want := Delay(time.Millisecond, 0, 20, nil), 64*time.Millisecond; got != want {
+		t.Errorf("Delay(max=0, attempt=20) = %v, want %v", got, want)
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	base, max := 100*time.Millisecond, 10*time.Second
+	rnd := Rand(42)
+	for attempt := 0; attempt < 8; attempt++ {
+		full := Delay(base, max, attempt, nil)
+		for i := 0; i < 100; i++ {
+			d := Delay(base, max, attempt, rnd)
+			if d < full/2 || d >= full {
+				t.Fatalf("Delay(attempt=%d) = %v outside [%v, %v)", attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := Rand(7), Rand(7)
+	for i := 0; i < 1000; i++ {
+		av, bv := a(), b()
+		if av != bv {
+			t.Fatalf("draw %d: %v != %v for equal seeds", i, av, bv)
+		}
+		if av < 0 || av >= 1 {
+			t.Fatalf("draw %d: %v outside [0,1)", i, av)
+		}
+	}
+	if c := Rand(8); c() == Rand(7)() {
+		t.Error("different seeds produced the same first draw")
+	}
+}
+
+func TestSleepHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Errorf("Sleep(canceled) = %v, want context.Canceled", err)
+	}
+	// Zero and negative delays return immediately on a live context.
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Errorf("Sleep(0) = %v", err)
+	}
+	if err := Sleep(context.Background(), -time.Second); err != nil {
+		t.Errorf("Sleep(-1s) = %v", err)
+	}
+}
+
+func TestSleepWakesMidWait(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Sleep(ctx, time.Hour) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not wake on cancellation")
+	}
+}

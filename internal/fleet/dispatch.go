@@ -1,0 +1,775 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"recyclesim"
+	"recyclesim/internal/backoff"
+	"recyclesim/internal/obs/trace"
+	"recyclesim/internal/store"
+)
+
+// ErrUnknownWorker is returned by Lease/Heartbeat/Complete for a
+// worker ID the dispatcher does not know (never registered, or reaped
+// after going silent).  The HTTP layer maps it to 410 Gone and the
+// worker client re-registers.
+var ErrUnknownWorker = errors.New("fleet: unknown worker")
+
+// Config tunes a Dispatcher.  The zero value works: defaults are
+// filled in by NewDispatcher.
+type Config struct {
+	// Local computes a cell in-process: the fallback when no workers
+	// are attached (or a cell has exhausted its requeue budget).
+	// Defaults to Execute.
+	Local func(ctx context.Context, spec Spec) (*store.Record, error)
+
+	// LeaseTTL bounds the time between heartbeat renewals of one
+	// remote compute (default 30s).  A lease not renewed within it is
+	// expired and its cell requeued.
+	LeaseTTL time.Duration
+	// MaxLeaseLifetime caps the total life of one lease across
+	// renewals (default 20*LeaseTTL), so a hung compute on a
+	// healthily-heartbeating worker still gets requeued eventually.
+	MaxLeaseLifetime time.Duration
+	// ExpireAfter declares a worker dead when it has not been heard
+	// from (lease, heartbeat, complete) for this long (default
+	// 2*LeaseTTL); its leases are requeued and its later results
+	// dropped as stale.
+	ExpireAfter time.Duration
+	// MaxRequeues bounds how many times one cell survives
+	// infrastructure failures (lease expiry, worker death or
+	// departure) before the dispatcher stops trusting the fleet with
+	// it and computes it locally (default 3).
+	MaxRequeues int
+
+	// Retries is the number of extra attempts a cell whose *compute*
+	// failed gets (locally or on a worker) before the error is
+	// returned; cancellation and deadline errors are never retried.
+	Retries int
+	// RetryDelay/RetryDelayMax shape the capped exponential backoff
+	// (with equal jitter) between compute retries; zero RetryDelay
+	// retries immediately.
+	RetryDelay    time.Duration
+	RetryDelayMax time.Duration
+
+	// Now, Rand, and Sleep are the deterministic injection points for
+	// tests (fleet/chaos drives lease expiry with a fake clock and
+	// pins jitter).  Defaults: time.Now, a fixed-seed backoff.Rand
+	// per compute, backoff.Sleep.  Injected functions must be safe
+	// for concurrent use.
+	Now   func() time.Time
+	Rand  func() float64
+	Sleep func(context.Context, time.Duration) error
+
+	// Log receives dispatcher lifecycle records; nil discards them.
+	Log *slog.Logger
+}
+
+// Counters is a snapshot of the dispatcher's accounting.
+type Counters struct {
+	Workers        int64  `json:"workers"`
+	QueueDepth     int64  `json:"queue_depth"`
+	Registers      uint64 `json:"registers"`
+	Departs        uint64 `json:"departs"`
+	WorkersLost    uint64 `json:"workers_lost"`
+	LeasesGranted  uint64 `json:"leases_granted"`
+	LeasesExpired  uint64 `json:"leases_expired"`
+	Requeues       uint64 `json:"requeues"`
+	StaleResults   uint64 `json:"stale_results"`
+	RemoteComputes uint64 `json:"remote_computes"`
+	RemoteErrors   uint64 `json:"remote_errors"`
+	LocalComputes  uint64 `json:"local_computes"`
+	LocalFallbacks uint64 `json:"local_fallbacks"`
+	Retries        uint64 `json:"retries"`
+}
+
+// roundKind classifies the outcome of one remote round of a cell.
+type roundKind int
+
+const (
+	roundOK       roundKind = iota // worker returned a record
+	roundErr                       // worker reported a compute error
+	roundFallback                  // fleet gave up on this cell: compute locally
+)
+
+type roundResult struct {
+	kind   roundKind
+	rec    *store.Record
+	errMsg string
+}
+
+// task is one cell currently owned by the fleet: queued, leased, or
+// being delivered.  All fields are guarded by the dispatcher mutex
+// except ch, which is buffered and written exactly once per round.
+type task struct {
+	seq      uint64
+	spec     Spec
+	key      string
+	tc       trace.Ctx
+	requeues int
+
+	queued    bool
+	lease     *lease
+	abandoned bool
+	ch        chan roundResult
+}
+
+// lease is one grant of a task to a worker.
+type lease struct {
+	id       uint64
+	t        *task
+	w        *worker
+	granted  time.Time
+	deadline time.Time
+	span     trace.Ctx
+}
+
+// worker is one registered remote worker process.
+type worker struct {
+	id       string
+	name     string
+	parallel int
+	joined   time.Time
+	lastSeen time.Time
+	leases   map[uint64]*lease
+}
+
+// waiter is one long-polling Lease call parked until work arrives.
+type waiter struct {
+	workerID string
+	ch       chan *Grant // buffered 1
+}
+
+// Grant is the reply to a successful Lease: one cell under one lease.
+type Grant struct {
+	Lease uint64        `json:"lease"`
+	Key   string        `json:"key"`
+	Spec  Spec          `json:"spec"`
+	TTL   time.Duration `json:"-"`
+}
+
+// WorkerStatus is one row of the /fleet/workers listing.
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Parallel int    `json:"parallel"`
+	Leases   int    `json:"leases"`
+	AgeSec   int64  `json:"age_sec"`
+	IdleSec  int64  `json:"idle_sec"`
+}
+
+// RegisterInfo is the reply to a worker registration.
+type RegisterInfo struct {
+	Worker         string        `json:"worker"`
+	LeaseTTL       time.Duration `json:"-"`
+	HeartbeatEvery time.Duration `json:"-"`
+}
+
+// Dispatcher owns the fleet: registered workers, the queue of
+// unleased cells, and every outstanding lease.  All methods are safe
+// for concurrent use.
+type Dispatcher struct {
+	cfg Config
+	log *slog.Logger
+
+	mu        sync.Mutex
+	workers   map[string]*worker
+	leases    map[uint64]*lease
+	queue     []*task
+	waiters   []*waiter
+	workerSeq uint64
+	taskSeq   uint64
+	leaseSeq  uint64
+
+	registers      atomic.Uint64
+	departs        atomic.Uint64
+	workersLost    atomic.Uint64
+	leasesGranted  atomic.Uint64
+	leasesExpired  atomic.Uint64
+	requeues       atomic.Uint64
+	staleResults   atomic.Uint64
+	remoteComputes atomic.Uint64
+	remoteErrors   atomic.Uint64
+	localComputes  atomic.Uint64
+	localFallbacks atomic.Uint64
+	retries        atomic.Uint64
+}
+
+// NewDispatcher builds a dispatcher; zero cfg fields get defaults.
+func NewDispatcher(cfg Config) *Dispatcher {
+	if cfg.Local == nil {
+		cfg.Local = Execute
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxLeaseLifetime <= 0 {
+		cfg.MaxLeaseLifetime = 20 * cfg.LeaseTTL
+	}
+	if cfg.ExpireAfter <= 0 {
+		cfg.ExpireAfter = 2 * cfg.LeaseTTL
+	}
+	if cfg.MaxRequeues <= 0 {
+		cfg.MaxRequeues = 3
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = backoff.Sleep
+	}
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	return &Dispatcher{
+		cfg:     cfg,
+		log:     log,
+		workers: make(map[string]*worker),
+		leases:  make(map[uint64]*lease),
+	}
+}
+
+// Counters returns a snapshot of the accounting.
+func (d *Dispatcher) Counters() Counters {
+	d.mu.Lock()
+	nw, nq := int64(len(d.workers)), int64(len(d.queue))
+	d.mu.Unlock()
+	return Counters{
+		Workers:        nw,
+		QueueDepth:     nq,
+		Registers:      d.registers.Load(),
+		Departs:        d.departs.Load(),
+		WorkersLost:    d.workersLost.Load(),
+		LeasesGranted:  d.leasesGranted.Load(),
+		LeasesExpired:  d.leasesExpired.Load(),
+		Requeues:       d.requeues.Load(),
+		StaleResults:   d.staleResults.Load(),
+		RemoteComputes: d.remoteComputes.Load(),
+		RemoteErrors:   d.remoteErrors.Load(),
+		LocalComputes:  d.localComputes.Load(),
+		LocalFallbacks: d.localFallbacks.Load(),
+		Retries:        d.retries.Load(),
+	}
+}
+
+// Workers lists the registered workers for diagnostics.
+func (d *Dispatcher) Workers() []WorkerStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.cfg.Now()
+	out := make([]WorkerStatus, 0, len(d.workers))
+	//simlint:ignore determinism -- diagnostic listing, sorted by the caller if needed
+	for _, w := range d.workers {
+		out = append(out, WorkerStatus{
+			ID:       w.id,
+			Name:     w.name,
+			Parallel: w.parallel,
+			Leases:   len(w.leases),
+			AgeSec:   int64(now.Sub(w.joined).Seconds()),
+			IdleSec:  int64(now.Sub(w.lastSeen).Seconds()),
+		})
+	}
+	return out
+}
+
+// RegisterWorker admits a worker and returns its assigned ID plus the
+// lease/heartbeat timing contract.
+func (d *Dispatcher) RegisterWorker(name string, parallel int) RegisterInfo {
+	if parallel <= 0 {
+		parallel = 1
+	}
+	d.mu.Lock()
+	d.workerSeq++
+	w := &worker{
+		id:       fmt.Sprintf("w%d", d.workerSeq),
+		name:     name,
+		parallel: parallel,
+		joined:   d.cfg.Now(),
+		lastSeen: d.cfg.Now(),
+		leases:   make(map[uint64]*lease),
+	}
+	d.workers[w.id] = w
+	d.mu.Unlock()
+	d.registers.Add(1)
+	d.log.Info("worker registered", "worker", w.id, "name", name, "parallel", parallel)
+	return RegisterInfo{Worker: w.id, LeaseTTL: d.cfg.LeaseTTL, HeartbeatEvery: d.cfg.LeaseTTL / 3}
+}
+
+// Deregister removes a worker gracefully: its outstanding leases are
+// requeued immediately (no expiry wait) and later results dropped.
+func (d *Dispatcher) Deregister(workerID string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := d.workers[workerID]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	d.removeWorkerLocked(w, "worker-departed")
+	d.departs.Add(1)
+	d.log.Info("worker departed", "worker", workerID)
+	return nil
+}
+
+// Heartbeat refreshes a worker's liveness and renews the listed
+// leases.  Renewal extends a lease by LeaseTTL but never past its
+// MaxLeaseLifetime, so a hung compute cannot hold a cell forever.
+func (d *Dispatcher) Heartbeat(workerID string, leaseIDs []uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := d.workers[workerID]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	now := d.cfg.Now()
+	w.lastSeen = now
+	for _, id := range leaseIDs {
+		l := w.leases[id]
+		if l == nil {
+			continue // expired and requeued; the worker learns via stale Complete
+		}
+		deadline := now.Add(d.cfg.LeaseTTL)
+		if cap := l.granted.Add(d.cfg.MaxLeaseLifetime); deadline.After(cap) {
+			deadline = cap
+		}
+		l.deadline = deadline
+	}
+	return nil
+}
+
+// Lease hands the worker one queued cell under a fresh lease,
+// long-polling up to wait when the queue is empty (nil Grant on
+// timeout).  The worker must Complete the lease or keep it renewed by
+// heartbeat; otherwise the cell is requeued at the deadline.
+func (d *Dispatcher) Lease(ctx context.Context, workerID string, wait time.Duration) (*Grant, error) {
+	d.mu.Lock()
+	w := d.workers[workerID]
+	if w == nil {
+		d.mu.Unlock()
+		return nil, ErrUnknownWorker
+	}
+	w.lastSeen = d.cfg.Now()
+	if len(d.queue) > 0 {
+		t := d.queue[0]
+		d.queue = d.queue[1:]
+		t.queued = false
+		g := d.grantLocked(w, t)
+		d.mu.Unlock()
+		return g, nil
+	}
+	if wait <= 0 {
+		d.mu.Unlock()
+		return nil, nil
+	}
+	wt := &waiter{workerID: workerID, ch: make(chan *Grant, 1)}
+	d.waiters = append(d.waiters, wt)
+	d.mu.Unlock()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	var timedOut bool
+	select {
+	case g := <-wt.ch:
+		return g, nil
+	case <-ctx.Done():
+	case <-timer.C:
+		timedOut = true
+	}
+	d.mu.Lock()
+	for i, o := range d.waiters {
+		if o == wt {
+			d.waiters = append(d.waiters[:i], d.waiters[i+1:]...)
+			break
+		}
+	}
+	// A grant may have raced the timeout; on a plain timeout the
+	// handler is still alive and can use it, but a dead request
+	// context means nobody will compute it — requeue.
+	select {
+	case g := <-wt.ch:
+		if timedOut {
+			d.mu.Unlock()
+			return g, nil
+		}
+		if l := d.leases[g.Lease]; l != nil {
+			d.expireLeaseLocked(l, "lease-request-died")
+		}
+		d.mu.Unlock()
+		return nil, ctx.Err()
+	default:
+	}
+	d.mu.Unlock()
+	if !timedOut && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return nil, nil
+}
+
+// grantLocked creates a lease of t to w.  Caller holds d.mu.
+func (d *Dispatcher) grantLocked(w *worker, t *task) *Grant {
+	now := d.cfg.Now()
+	d.leaseSeq++
+	l := &lease{
+		id:       d.leaseSeq,
+		t:        t,
+		w:        w,
+		granted:  now,
+		deadline: now.Add(d.cfg.LeaseTTL),
+	}
+	l.span = t.tc.Start("lease").Str("worker", w.id).Uint("lease", l.id)
+	t.lease = l
+	w.leases[l.id] = l
+	d.leases[l.id] = l
+	d.leasesGranted.Add(1)
+	d.log.Debug("lease granted", "worker", w.id, "lease", l.id, "cell", t.spec.Name())
+	return &Grant{Lease: l.id, Key: t.key, Spec: t.spec, TTL: d.cfg.LeaseTTL}
+}
+
+// Complete reports one lease's outcome: a record, a compute error, or
+// a release (the worker is giving the cell back, e.g. on shutdown).
+// A completion for a lease the dispatcher no longer tracks — expired,
+// worker declared dead, cell already requeued — is dropped as stale;
+// the caller learns via the return value, and exactly-once storage is
+// preserved because only the current leaseholder's result is
+// delivered.
+func (d *Dispatcher) Complete(workerID string, leaseID uint64, rec *store.Record, errMsg string, release bool) (stale bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if w := d.workers[workerID]; w != nil {
+		w.lastSeen = d.cfg.Now()
+	}
+	l := d.leases[leaseID]
+	if l == nil || l.w.id != workerID {
+		d.staleResults.Add(1)
+		d.log.Debug("stale completion dropped", "worker", workerID, "lease", leaseID)
+		return true
+	}
+	d.detachLeaseLocked(l)
+	t := l.t
+	switch {
+	case release:
+		l.span.Str("end", "released").End()
+		d.requeueLocked(t, "worker-released")
+	case errMsg != "":
+		l.span.Str("error", errMsg).End()
+		d.remoteErrors.Add(1)
+		d.deliverLocked(t, roundResult{kind: roundErr, errMsg: errMsg})
+	default:
+		l.span.End()
+		d.remoteComputes.Add(1)
+		d.deliverLocked(t, roundResult{kind: roundOK, rec: rec})
+	}
+	return false
+}
+
+// detachLeaseLocked unlinks a lease from its worker, task, and the
+// global table.  Caller holds d.mu.
+func (d *Dispatcher) detachLeaseLocked(l *lease) {
+	delete(d.leases, l.id)
+	delete(l.w.leases, l.id)
+	if l.t.lease == l {
+		l.t.lease = nil
+	}
+}
+
+// deliverLocked hands the round result to the waiting Compute, unless
+// it abandoned the task (context cancellation).  Caller holds d.mu.
+func (d *Dispatcher) deliverLocked(t *task, r roundResult) {
+	if t.abandoned {
+		return
+	}
+	t.ch <- r
+}
+
+// requeueLocked returns a task to service after an infrastructure
+// failure: back onto the queue head (or straight to a parked waiter)
+// while its requeue budget lasts, otherwise — or when no workers
+// remain — delivered as a local-compute fallback.  Caller holds d.mu.
+func (d *Dispatcher) requeueLocked(t *task, reason string) {
+	if t.abandoned {
+		return
+	}
+	t.requeues++
+	d.requeues.Add(1)
+	t.tc.Start("requeue").Str("reason", reason).Uint("requeues", uint64(t.requeues)).End()
+	d.log.Info("cell requeued", "cell", t.spec.Name(), "reason", reason, "requeues", t.requeues)
+	if t.requeues > d.cfg.MaxRequeues || len(d.workers) == 0 {
+		d.localFallbacks.Add(1)
+		d.deliverLocked(t, roundResult{kind: roundFallback, errMsg: reason})
+		return
+	}
+	if d.handToWaiterLocked(t) {
+		return
+	}
+	d.queue = append([]*task{t}, d.queue...)
+	t.queued = true
+}
+
+// handToWaiterLocked grants t to the first parked Lease call whose
+// worker is still alive.  Caller holds d.mu.
+func (d *Dispatcher) handToWaiterLocked(t *task) bool {
+	for len(d.waiters) > 0 {
+		wt := d.waiters[0]
+		d.waiters = d.waiters[1:]
+		w := d.workers[wt.workerID]
+		if w == nil {
+			continue
+		}
+		wt.ch <- d.grantLocked(w, t)
+		return true
+	}
+	return false
+}
+
+// removeWorkerLocked drops a worker and requeues everything it held.
+// When the last worker leaves, the queue is flushed to local compute.
+// Caller holds d.mu.
+func (d *Dispatcher) removeWorkerLocked(w *worker, reason string) {
+	delete(d.workers, w.id)
+	for _, l := range w.leases {
+		delete(d.leases, l.id)
+		if l.t.lease == l {
+			l.t.lease = nil
+		}
+		l.span.Str("end", reason).End()
+		d.leasesExpired.Add(1)
+		d.requeueLocked(l.t, reason)
+	}
+	w.leases = make(map[uint64]*lease)
+	if len(d.workers) == 0 {
+		for _, t := range d.queue {
+			t.queued = false
+			d.localFallbacks.Add(1)
+			d.deliverLocked(t, roundResult{kind: roundFallback, errMsg: "no workers attached"})
+		}
+		d.queue = nil
+	}
+}
+
+// expireLeaseLocked requeues one lease's task without touching the
+// worker's liveness.  Caller holds d.mu.
+func (d *Dispatcher) expireLeaseLocked(l *lease, reason string) {
+	d.detachLeaseLocked(l)
+	l.span.Str("end", reason).End()
+	d.leasesExpired.Add(1)
+	d.requeueLocked(l.t, reason)
+}
+
+// Reap expires overdue leases and declares silent workers dead,
+// requeueing their cells.  It is called periodically by the goroutine
+// StartReaper launches, and directly by tests (with an injected clock)
+// for deterministic fault schedules.  It returns how many leases were
+// requeued.
+func (d *Dispatcher) Reap() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.cfg.Now()
+	n := 0
+	var lost []*worker
+	//simlint:ignore determinism -- requeue order does not affect results (the store dedupes)
+	for _, w := range d.workers {
+		if now.Sub(w.lastSeen) > d.cfg.ExpireAfter {
+			lost = append(lost, w)
+		}
+	}
+	for _, w := range lost {
+		n += len(w.leases)
+		d.workersLost.Add(1)
+		d.log.Warn("worker lost", "worker", w.id, "name", w.name, "leases", len(w.leases),
+			"silent", now.Sub(w.lastSeen).String())
+		d.removeWorkerLocked(w, "worker-lost")
+	}
+	var overdue []*lease
+	//simlint:ignore determinism -- requeue order does not affect results (the store dedupes)
+	for _, l := range d.leases {
+		if now.After(l.deadline) {
+			overdue = append(overdue, l)
+		}
+	}
+	for _, l := range overdue {
+		n++
+		d.log.Warn("lease expired", "worker", l.w.id, "lease", l.id, "cell", l.t.spec.Name())
+		d.expireLeaseLocked(l, "lease-expired")
+	}
+	return n
+}
+
+// StartReaper runs Reap every interval (default LeaseTTL/4) until ctx
+// is done.
+func (d *Dispatcher) StartReaper(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = d.cfg.LeaseTTL / 4
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				d.Reap()
+			}
+		}
+	}()
+}
+
+// enqueue admits a cell to the fleet, granting it straight to a parked
+// Lease call when one is waiting.  ok is false when no workers are
+// attached (the caller computes locally).
+func (d *Dispatcher) enqueue(spec Spec, key string, tc trace.Ctx) (*task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.workers) == 0 {
+		return nil, false
+	}
+	d.taskSeq++
+	t := &task{seq: d.taskSeq, spec: spec, key: key, tc: tc, ch: make(chan roundResult, 1)}
+	if !d.handToWaiterLocked(t) {
+		d.queue = append(d.queue, t)
+		t.queued = true
+	}
+	return t, true
+}
+
+// abandon detaches a task whose Compute gave up (context cancellation):
+// it leaves the queue, and any in-flight lease is expired so the
+// worker's eventual completion is dropped as stale.
+func (d *Dispatcher) abandon(t *task) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t.abandoned = true
+	if t.queued {
+		for i, q := range d.queue {
+			if q == t {
+				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				break
+			}
+		}
+		t.queued = false
+	}
+	if l := t.lease; l != nil {
+		d.detachLeaseLocked(l)
+		l.span.Str("end", "abandoned").End()
+	}
+}
+
+// Compute executes one cell through the fleet: dispatched to a worker
+// under a lease when any are attached, computed in-process otherwise.
+// Infrastructure failures (lease expiry, worker death/departure)
+// requeue the cell transparently up to MaxRequeues, then degrade to
+// local compute; compute failures retry with capped exponential
+// backoff + jitter up to Retries, skipping cancellation and deadline
+// errors.  tc is the cell's compute span; lease, requeue, backoff, and
+// attempt children land under it.
+func (d *Dispatcher) Compute(ctx context.Context, spec Spec, key string, tc trace.Ctx) (*store.Record, error) {
+	rnd := d.cfg.Rand
+	var attempt int
+	localOnly := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !localOnly {
+			if t, ok := d.enqueue(spec, key, tc); ok {
+				var r roundResult
+				select {
+				case r = <-t.ch:
+				case <-ctx.Done():
+					d.abandon(t)
+					return nil, ctx.Err()
+				}
+				switch r.kind {
+				case roundOK:
+					return r.rec, nil
+				case roundFallback:
+					localOnly = true
+					d.log.Info("cell degraded to local compute", "cell", spec.Name(), "reason", r.errMsg)
+					continue
+				case roundErr:
+					if attempt >= d.cfg.Retries {
+						return nil, errors.New(r.errMsg)
+					}
+					attempt++
+					if err := d.backoffWait(ctx, tc, attempt, &rnd); err != nil {
+						return nil, err
+					}
+					continue
+				}
+			}
+			// enqueue refused: zero workers attached right now.
+		}
+		rec, err := d.localAttempt(ctx, spec, tc, attempt)
+		if err == nil {
+			return rec, nil
+		}
+		if errors.Is(err, recyclesim.ErrCanceled) || errors.Is(err, recyclesim.ErrDeadline) || attempt >= d.cfg.Retries {
+			return nil, err
+		}
+		attempt++
+		if werr := d.backoffWait(ctx, tc, attempt, &rnd); werr != nil {
+			return nil, err
+		}
+	}
+}
+
+// localAttempt runs one in-process compute attempt under an "attempt"
+// span (the same schema the pre-fleet job server recorded).
+func (d *Dispatcher) localAttempt(ctx context.Context, spec Spec, tc trace.Ctx, attempt int) (*store.Record, error) {
+	d.localComputes.Add(1)
+	at := tc.Start("attempt").Uint("attempt", uint64(attempt))
+	rec, err := d.cfg.Local(ctx, spec)
+	if err != nil {
+		at.Error(err).End()
+		return nil, err
+	}
+	at.End()
+	return rec, nil
+}
+
+// backoffWait sleeps the capped exponential backoff before retry
+// attempt (1-based), initializing the per-compute jitter stream on
+// first use.
+func (d *Dispatcher) backoffWait(ctx context.Context, tc trace.Ctx, attempt int, rnd *func() float64) error {
+	d.retries.Add(1)
+	if d.cfg.RetryDelay <= 0 {
+		return ctx.Err()
+	}
+	if *rnd == nil {
+		*rnd = backoff.Rand(uint64(attempt) * 0x9e37)
+	}
+	delay := backoff.Delay(d.cfg.RetryDelay, d.cfg.RetryDelayMax, attempt-1, *rnd)
+	bs := tc.Start("backoff").Uint("attempt", uint64(attempt))
+	err := d.cfg.Sleep(ctx, delay)
+	bs.End()
+	return err
+}
+
+// WriteMetrics appends the dispatcher's Prometheus text exposition
+// (svc_fleet_* series), meant for obs/server.AppendMetrics alongside
+// the job layer's metrics.
+func (d *Dispatcher) WriteMetrics(w io.Writer) {
+	c := d.Counters()
+	fmt.Fprintf(w, "# fleet (distributed execution) metrics\n")
+	fmt.Fprintf(w, "svc_fleet_workers %d\n", c.Workers)
+	fmt.Fprintf(w, "svc_fleet_queue_depth %d\n", c.QueueDepth)
+	fmt.Fprintf(w, "svc_fleet_registers_total %d\n", c.Registers)
+	fmt.Fprintf(w, "svc_fleet_departs_total %d\n", c.Departs)
+	fmt.Fprintf(w, "svc_fleet_workers_lost_total %d\n", c.WorkersLost)
+	fmt.Fprintf(w, "svc_fleet_leases_granted_total %d\n", c.LeasesGranted)
+	fmt.Fprintf(w, "svc_fleet_leases_expired_total %d\n", c.LeasesExpired)
+	fmt.Fprintf(w, "svc_fleet_requeues_total %d\n", c.Requeues)
+	fmt.Fprintf(w, "svc_fleet_stale_results_total %d\n", c.StaleResults)
+	fmt.Fprintf(w, "svc_fleet_remote_computes_total %d\n", c.RemoteComputes)
+	fmt.Fprintf(w, "svc_fleet_remote_errors_total %d\n", c.RemoteErrors)
+	fmt.Fprintf(w, "svc_fleet_local_computes_total %d\n", c.LocalComputes)
+	fmt.Fprintf(w, "svc_fleet_local_fallbacks_total %d\n", c.LocalFallbacks)
+	fmt.Fprintf(w, "svc_fleet_retries_total %d\n", c.Retries)
+}

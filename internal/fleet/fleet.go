@@ -1,0 +1,118 @@
+// Package fleet is the distributed execution layer behind the
+// recycled job service: worker processes (cmd/recycleworker) register
+// with the daemon, heartbeat, and pull simulation cells under
+// time-bounded leases; the Dispatcher requeues cells whose lease
+// expires or whose worker dies mid-compute, retries failed computes
+// with capped exponential backoff + jitter, and degrades gracefully to
+// local in-process compute when no workers are attached.
+//
+// The determinism contract is the same one every layer above keeps: a
+// cell's result record is a pure function of its Spec, computed by
+// Execute with the exact budgets and policies the local paths use
+// (cmd/experiments' 40x cycle budget, sampled cells at Workers 1), so
+// a sweep's output is byte-identical whether it ran on 0, 1, or N
+// worker hosts — witnessed by the chaos tests in fleet/chaos.  The
+// durable store above the dispatcher still guarantees each distinct
+// cell is computed exactly once per store, no matter how many workers
+// race, die, or resurrect: a requeued cell's late result from the
+// original (stale) lease is dropped, never double-stored.
+//
+// This package is host-side service code (goroutines, wall clock,
+// HTTP) and lives outside the simulator's determinism scope
+// (lint.NonSimPackages); it must never be imported by simulation
+// packages.
+package fleet
+
+import (
+	"context"
+	"strings"
+
+	"recyclesim"
+	"recyclesim/internal/config"
+	"recyclesim/internal/obs"
+	"recyclesim/internal/store"
+)
+
+// Sampling is the sampled-mode schedule of a cell, travelling raw
+// (zero fields select the simulator defaults) exactly like the job
+// API's SamplingSpec.
+type Sampling struct {
+	Period      uint64  `json:"period,omitempty"`
+	IntervalLen uint64  `json:"interval,omitempty"`
+	WarmupLen   uint64  `json:"warmup,omitempty"`
+	Confidence  float64 `json:"confidence,omitempty"`
+}
+
+// Spec identifies one simulation cell: the full machine and feature
+// configuration (by content, not by name), the workload mix, the
+// committed-instruction budget, and the sampling schedule for sampled
+// cells.  It is the unit of work the dispatcher hands to workers.
+type Spec struct {
+	Machine   config.Machine  `json:"machine"`
+	Features  config.Features `json:"features"`
+	Workloads []string        `json:"workloads"`
+	// Insts is the committed-instruction budget (0 = 200_000); the
+	// cycle budget is fixed at the harness's 40x policy.
+	Insts uint64 `json:"insts,omitempty"`
+	// Sampling, when non-nil, makes this a sampled cell.
+	Sampling *Sampling `json:"sampling,omitempty"`
+}
+
+// Name renders the spec for logs and progress displays.
+func (s Spec) Name() string {
+	name := s.Machine.Name + "/" + config.FeatureName(s.Features) + "/" + strings.Join(s.Workloads, "+")
+	if s.Sampling != nil {
+		name = "sampled/" + name
+	}
+	return name
+}
+
+// Execute computes one cell in-process: the canonical Spec→Record
+// executor shared by the dispatcher's zero-worker fallback, the
+// in-process path of the job server, and cmd/recycleworker.  One call
+// is one attempt — retries, backoff, and fault attribution live in the
+// callers — but faults are already contained: a panic or livelock
+// comes back as an error, never takes the process down.
+func Execute(ctx context.Context, spec Spec) (*store.Record, error) {
+	insts := spec.Insts
+	if insts == 0 {
+		insts = 200_000
+	}
+	if spec.Sampling != nil {
+		// Cell-level Workers is pinned to 1 so sampled estimates are
+		// worker-count invariant (the cmd/experiments policy); the
+		// sweep above already fans cells out.
+		res, err := recyclesim.RunSampledContext(ctx, recyclesim.Options{
+			Machine:   spec.Machine,
+			Features:  spec.Features,
+			Workloads: spec.Workloads,
+			MaxInsts:  insts,
+			Sampling: &recyclesim.Sampling{
+				Workers:     1,
+				Period:      spec.Sampling.Period,
+				IntervalLen: spec.Sampling.IntervalLen,
+				WarmupLen:   spec.Sampling.WarmupLen,
+				Confidence:  spec.Sampling.Confidence,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &store.Record{Sampled: res}, nil
+	}
+	// Fresh telemetry per attempt, so a partially accumulated failed
+	// attempt never leaks into the stored record.
+	tel := &obs.Metrics{Hists: true}
+	res, err := recyclesim.RunBatchContext(ctx, []recyclesim.Options{{
+		Machine:   spec.Machine,
+		Features:  spec.Features,
+		Workloads: spec.Workloads,
+		MaxInsts:  insts,
+		MaxCycles: 40 * insts,
+		Telemetry: tel,
+	}}, recyclesim.BatchConfig{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &store.Record{Stats: res[0], Metrics: tel}, nil
+}

@@ -1,0 +1,342 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"recyclesim/internal/backoff"
+	"recyclesim/internal/store"
+)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// BaseURL of the recycled daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Name labels the worker in the daemon's listings and logs.
+	Name string
+	// Token, when non-empty, is sent as "Authorization: Bearer" on
+	// every request (must match the daemon's -worker-token).
+	Token string
+	// Parallel is how many cells to compute concurrently (default 1).
+	Parallel int
+	// Compute executes one cell; defaults to Execute.  The chaos
+	// harness swaps in stallable/killable computes here.
+	Compute func(ctx context.Context, spec Spec) (*store.Record, error)
+	// HTTP is the client used for all requests (default
+	// http.DefaultClient); the chaos harness injects a partitioning
+	// RoundTripper.
+	HTTP *http.Client
+	// PollWait is the long-poll window per lease request (default 5s).
+	PollWait time.Duration
+	// Log receives worker lifecycle records; nil discards them.
+	Log *slog.Logger
+}
+
+// Worker is the worker-side half of the fleet protocol: it registers
+// with the daemon, long-polls for leases on Parallel pullers, keeps
+// its leases renewed from one heartbeat goroutine, and reports each
+// cell's record (or compute error) back.  On shutdown it releases the
+// leases it still holds and deregisters, so its cells requeue
+// immediately instead of waiting out the lease TTL.
+type Worker struct {
+	cfg  WorkerConfig
+	log  *slog.Logger
+	http *http.Client
+
+	mu       sync.Mutex
+	id       string
+	ttl      time.Duration
+	beat     time.Duration
+	holding  map[uint64]bool
+	computes uint64
+}
+
+// NewWorker builds a worker; it does not contact the daemon until Run.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 1
+	}
+	if cfg.Compute == nil {
+		cfg.Compute = Execute
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 5 * time.Second
+	}
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Worker{cfg: cfg, log: log, http: hc, holding: make(map[uint64]bool)}
+}
+
+// Computes returns how many cells this worker has computed (for tests
+// and the worker's own shutdown log line).
+func (w *Worker) Computes() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.computes
+}
+
+// post sends one JSON request; ctx bounds it.  A nil out discards the
+// response body.  Non-2xx statuses come back as *StatusError.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.Token)
+	}
+	resp, err := w.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(msg))}
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// StatusError is a non-2xx protocol reply.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string { return fmt.Sprintf("fleet: status %d: %s", e.Code, e.Body) }
+
+// gone reports whether err is the daemon disowning this worker (410).
+func gone(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusGone
+}
+
+// register joins (or re-joins) the fleet, retrying with backoff until
+// ctx is done.
+func (w *Worker) register(ctx context.Context) error {
+	rnd := backoff.Rand(1)
+	for attempt := 0; ; attempt++ {
+		var resp registerResponse
+		err := w.post(ctx, "/fleet/register", registerRequest{Name: w.cfg.Name, Parallel: w.cfg.Parallel}, &resp)
+		if err == nil {
+			w.mu.Lock()
+			w.id = resp.Worker
+			w.ttl = time.Duration(resp.LeaseTTLMS) * time.Millisecond
+			w.beat = time.Duration(resp.HeartbeatMS) * time.Millisecond
+			if w.beat <= 0 {
+				w.beat = time.Second
+			}
+			w.holding = make(map[uint64]bool)
+			w.mu.Unlock()
+			w.log.Info("registered", "worker", resp.Worker, "lease_ttl", w.ttl.String())
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.log.Warn("register failed; retrying", "err", err.Error())
+		if serr := backoff.Sleep(ctx, backoff.Delay(200*time.Millisecond, 5*time.Second, attempt, rnd)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// workerID returns the current registration ID.
+func (w *Worker) workerID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// heartbeatLoop renews held leases every beat until ctx is done.  A
+// 410 means the daemon reaped us: re-registration is signalled on
+// reregister (buffered 1) and picked up by the pullers' next lease
+// failure — here we just keep trying with the current ID until Run
+// swaps it.
+func (w *Worker) heartbeatLoop(ctx context.Context, goneCh chan<- struct{}) {
+	for {
+		w.mu.Lock()
+		beat := w.beat
+		w.mu.Unlock()
+		if err := backoff.Sleep(ctx, beat); err != nil {
+			return
+		}
+		w.mu.Lock()
+		id := w.id
+		leases := make([]uint64, 0, len(w.holding))
+		//simlint:ignore determinism -- heartbeat listing order is irrelevant
+		for l := range w.holding {
+			leases = append(leases, l)
+		}
+		w.mu.Unlock()
+		err := w.post(ctx, "/fleet/heartbeat", heartbeatRequest{Worker: id, Leases: leases}, nil)
+		if gone(err) {
+			select {
+			case goneCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Run is the worker main loop: register, then pull-compute-complete on
+// Parallel pullers until ctx is done, re-registering whenever the
+// daemon disowns us.  It returns when ctx is done, after releasing
+// held leases and deregistering (on a short detached timeout, so
+// shutdown still completes when the daemon is unreachable).
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	goneCh := make(chan struct{}, 1)
+	go w.heartbeatLoop(ctx, goneCh)
+
+	var regMu sync.Mutex // serializes re-registration across pullers
+	reregister := func(oldID string) {
+		regMu.Lock()
+		defer regMu.Unlock()
+		if w.workerID() != oldID {
+			return // another puller already re-registered
+		}
+		w.log.Warn("disowned by daemon; re-registering", "old_worker", oldID)
+		_ = w.register(ctx)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.Parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.pullLoop(ctx, goneCh, reregister)
+		}()
+	}
+	wg.Wait()
+
+	// Graceful exit: give back what we hold so the dispatcher requeues
+	// immediately, then deregister.  ctx is already done, so use a
+	// short detached timeout.
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	w.mu.Lock()
+	id := w.id
+	held := make([]uint64, 0, len(w.holding))
+	//simlint:ignore determinism -- release order is irrelevant
+	for l := range w.holding {
+		held = append(held, l)
+	}
+	w.mu.Unlock()
+	for _, l := range held {
+		_ = w.post(dctx, "/fleet/complete", completeRequest{Worker: id, Lease: l, Release: true}, nil)
+	}
+	_ = w.post(dctx, "/fleet/deregister", deregisterRequest{Worker: id}, nil)
+	w.log.Info("worker stopped", "computes", w.Computes())
+	return ctx.Err()
+}
+
+// pullLoop is one puller: long-poll a lease, compute, complete.
+func (w *Worker) pullLoop(ctx context.Context, goneCh <-chan struct{}, reregister func(oldID string)) {
+	rnd := backoff.Rand(2)
+	errStreak := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-goneCh:
+			reregister(w.workerID())
+		default:
+		}
+		id := w.workerID()
+		var lr leaseResponse
+		err := w.post(ctx, "/fleet/lease", leaseRequest{Worker: id, WaitMS: w.cfg.PollWait.Milliseconds()}, &lr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if gone(err) {
+				reregister(id)
+				errStreak = 0
+				continue
+			}
+			errStreak++
+			w.log.Warn("lease poll failed", "err", err.Error())
+			if serr := backoff.Sleep(ctx, backoff.Delay(100*time.Millisecond, 3*time.Second, errStreak-1, rnd)); serr != nil {
+				return
+			}
+			continue
+		}
+		errStreak = 0
+		if lr.Lease == 0 {
+			continue // long-poll timeout (204): poll again
+		}
+		w.serve(ctx, id, lr)
+	}
+}
+
+// serve computes one leased cell and reports the outcome.
+func (w *Worker) serve(ctx context.Context, id string, lr leaseResponse) {
+	w.mu.Lock()
+	w.holding[lr.Lease] = true
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.holding, lr.Lease)
+		w.mu.Unlock()
+	}()
+	w.log.Debug("leased cell", "lease", lr.Lease, "cell", lr.Spec.Name())
+	rec, err := w.cfg.Compute(ctx, lr.Spec)
+	req := completeRequest{Worker: id, Lease: lr.Lease}
+	if err != nil {
+		if ctx.Err() != nil {
+			// Shutting down mid-compute: give the cell back rather
+			// than reporting our cancellation as a compute failure.
+			req.Release = true
+		} else {
+			req.Error = err.Error()
+		}
+	} else {
+		req.Record = rec
+		w.mu.Lock()
+		w.computes++
+		w.mu.Unlock()
+	}
+	cctx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+	}
+	var cr completeResponse
+	if cerr := w.post(cctx, "/fleet/complete", req, &cr); cerr != nil {
+		w.log.Warn("complete failed", "lease", lr.Lease, "err", cerr.Error())
+		return
+	}
+	if cr.Stale {
+		w.log.Info("completion was stale (lease expired or requeued)", "lease", lr.Lease)
+	}
+}

@@ -1,0 +1,228 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"recyclesim/internal/config"
+	"recyclesim/internal/fleet"
+	"recyclesim/internal/stats"
+	"recyclesim/internal/store"
+)
+
+// TestAuthBearerToken is the table-driven 401 witness: with token auth
+// on, every credential shape gets the right status and typed code, and
+// the Go client surfaces ErrUnauthorized.
+func TestAuthBearerToken(t *testing.T) {
+	_, client := newTestService(t, t.TempDir(), Config{
+		Workers: 1,
+		Auth:    &AuthConfig{Tokens: []string{"s3cret", "other-tenant"}},
+	})
+	cells := []CellSpec{detailedCell(config.SMT, []string{"compress"}, 1000)}
+
+	cases := []struct {
+		name     string
+		token    string
+		header   string // overrides the Authorization header when set
+		wantErr  error
+		wantCode string
+	}{
+		{name: "no token", wantErr: ErrUnauthorized, wantCode: CodeUnauthorized},
+		{name: "wrong token", token: "wrong", wantErr: ErrUnauthorized, wantCode: CodeUnauthorized},
+		{name: "not bearer", header: "Basic s3cret", wantErr: ErrUnauthorized, wantCode: CodeUnauthorized},
+		{name: "valid token", token: "s3cret"},
+		{name: "second tenant token", token: "other-tenant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.header != "" {
+				// Raw request: the client always sends Bearer form.
+				req, _ := http.NewRequest(http.MethodGet, client.BaseURL+"/jobs", nil)
+				req.Header.Set("Authorization", tc.header)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusUnauthorized {
+					t.Fatalf("status = %d, want 401", resp.StatusCode)
+				}
+				var body apiErrorBody
+				if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Code != tc.wantCode {
+					t.Fatalf("error body = %+v, %v; want code %q", body, err, tc.wantCode)
+				}
+				return
+			}
+			c := *client
+			c.Token = tc.token
+			_, err := c.Submit(context.Background(), JobRequest{Cells: cells})
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Submit with valid token: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Submit err = %v, want %v", err, tc.wantErr)
+			}
+			var ae *APIError
+			if !errors.As(err, &ae) || ae.Status != http.StatusUnauthorized || ae.Code != tc.wantCode {
+				t.Fatalf("APIError = %+v, want status 401 code %q", ae, tc.wantCode)
+			}
+		})
+	}
+}
+
+// blockingFleet builds a dispatcher whose (zero-worker) local compute
+// parks until release is closed — deterministic in-flight control for
+// the quota tests.
+func blockingFleet(release <-chan struct{}) *fleet.Dispatcher {
+	return fleet.NewDispatcher(fleet.Config{
+		Local: func(ctx context.Context, spec fleet.Spec) (*store.Record, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &store.Record{Stats: &stats.Sim{}}, nil
+		},
+	})
+}
+
+// TestQuotaOverLimit covers the 429 over_quota path: a submit that
+// would exceed the per-client in-flight cell cap is refused with the
+// typed error, in-flight jobs are untouched, and finished cells return
+// quota.
+func TestQuotaOverLimit(t *testing.T) {
+	release := make(chan struct{})
+	_, client := newTestService(t, t.TempDir(), Config{
+		Workers: 2,
+		Fleet:   blockingFleet(release),
+		Auth:    &AuthConfig{Tokens: []string{"tenant-a"}, MaxInFlightCells: 2},
+	})
+	client.Token = "tenant-a"
+	ctx := context.Background()
+
+	// One request over the whole quota: refused outright, typed.
+	_, err := client.Submit(ctx, JobRequest{Cells: []CellSpec{
+		detailedCell(config.SMT, []string{"compress"}, 1000),
+		detailedCell(config.TME, []string{"compress"}, 1000),
+		detailedCell(config.RECRSRU, []string{"compress"}, 1000),
+	}})
+	if !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("3-cell submit err = %v, want ErrOverQuota", err)
+	}
+
+	// Fill the quota with a job whose cells are deterministically
+	// parked in flight.
+	id, err := client.Submit(ctx, JobRequest{Cells: []CellSpec{
+		detailedCell(config.SMT, []string{"compress"}, 1000),
+		detailedCell(config.TME, []string{"compress"}, 1000),
+	}})
+	if err != nil {
+		t.Fatalf("quota-filling submit: %v", err)
+	}
+
+	// The next cell is over quota; the running job must not notice.
+	_, err = client.Submit(ctx, JobRequest{Cells: []CellSpec{
+		detailedCell(config.RECRSRU, []string{"compress"}, 1000),
+	}})
+	if !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("over-quota submit err = %v, want ErrOverQuota", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests || ae.Code != CodeOverQuota {
+		t.Fatalf("APIError = %+v, want status 429 code over_quota", ae)
+	}
+	if st, err := client.Status(ctx, id); err != nil || st.State != "running" || st.Failed != 0 {
+		t.Fatalf("in-flight job perturbed by refused submit: %+v, %v", st, err)
+	}
+
+	// Let the parked cells finish; their quota comes back.
+	close(release)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); _ = client.StreamResults(ctx, id, func(CellResult) error { return nil }) }()
+	done.Wait()
+	st, err := client.Status(ctx, id)
+	if err != nil || st.State != "done" || st.Failed != 0 {
+		t.Fatalf("blocked job never finished cleanly: %+v, %v", st, err)
+	}
+	if _, err := client.Submit(ctx, JobRequest{Cells: []CellSpec{
+		detailedCell(config.RECRSRU, []string{"compress"}, 1000),
+	}}); err != nil {
+		t.Fatalf("submit after quota release: %v", err)
+	}
+}
+
+// TestRateLimit covers the 429 rate_limited path with a fake clock:
+// the bucket admits Burst requests, refuses the next with a
+// Retry-After hint, and refills with time.
+func TestRateLimit(t *testing.T) {
+	clock := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	now := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return clock
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		clock = clock.Add(d)
+		mu.Unlock()
+	}
+	_, client := newTestService(t, t.TempDir(), Config{
+		Workers: 1,
+		Auth:    &AuthConfig{RatePerSec: 1, Burst: 2, now: now},
+	})
+	ctx := context.Background()
+
+	list := func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, client.BaseURL+"/jobs", nil)
+		if err != nil {
+			return err
+		}
+		return client.do(req, nil)
+	}
+	for i := 0; i < 2; i++ {
+		if err := list(); err != nil {
+			t.Fatalf("request %d within burst: %v", i, err)
+		}
+	}
+	err := list()
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("burst-exhausted err = %v, want ErrRateLimited", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests ||
+		ae.Code != CodeRateLimited || ae.RetryAfter <= 0 {
+		t.Fatalf("APIError = %+v, want 429 rate_limited with RetryAfter", ae)
+	}
+	advance(time.Second)
+	if err := list(); err != nil {
+		t.Fatalf("request after refill: %v", err)
+	}
+}
+
+// TestOpenServiceUnaffected: with no Auth config the historical open
+// behavior survives — no Authorization header needed anywhere.
+func TestOpenServiceUnaffected(t *testing.T) {
+	_, client := newTestService(t, t.TempDir(), Config{Workers: 1})
+	resp, err := http.Get(client.BaseURL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open GET /jobs status = %d, want 200", resp.StatusCode)
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+		t.Fatalf("unexpected content type %q", resp.Header.Get("Content-Type"))
+	}
+}

@@ -4,12 +4,61 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"time"
 )
+
+// Sentinel errors the typed API errors unwrap to, so callers can
+// branch with errors.Is regardless of message wording.
+var (
+	// ErrUnauthorized: the server requires a bearer token and the
+	// client's was missing or wrong (HTTP 401).
+	ErrUnauthorized = errors.New("jobs: unauthorized")
+	// ErrOverQuota: the client's in-flight cell quota is exhausted
+	// (HTTP 429, code over_quota); retry after cells finish.
+	ErrOverQuota = errors.New("jobs: in-flight cell quota exceeded")
+	// ErrRateLimited: the client's request rate limit tripped (HTTP
+	// 429, code rate_limited); retry after APIError.RetryAfter.
+	ErrRateLimited = errors.New("jobs: rate limited")
+)
+
+// APIError is a typed non-2xx reply from the job API.  401/429
+// replies carry a machine-readable code (and, for rate limits, the
+// suggested wait); errors.Is matches the sentinels above through it.
+type APIError struct {
+	Status     int           // HTTP status code
+	Code       string        // CodeUnauthorized, CodeOverQuota, CodeRateLimited, or ""
+	Message    string        // server-provided detail
+	RetryAfter time.Duration // suggested wait before retrying (429 only)
+}
+
+func (e *APIError) Error() string {
+	msg := fmt.Sprintf("jobs: server status %d", e.Status)
+	if e.Code != "" {
+		msg += " (" + e.Code + ")"
+	}
+	if e.Message != "" {
+		msg += ": " + e.Message
+	}
+	return msg
+}
+
+// Unwrap maps the error code onto the package sentinels.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case CodeUnauthorized:
+		return ErrUnauthorized
+	case CodeOverQuota:
+		return ErrOverQuota
+	case CodeRateLimited:
+		return ErrRateLimited
+	}
+	return nil
+}
 
 // Client talks to a recycled job server.  The zero HTTP client is
 // http.DefaultClient; results stream over one long-lived GET, so no
@@ -22,6 +71,9 @@ type Client struct {
 	// trace carries an ID the client chose (and can correlate with its
 	// own records).  Malformed values are ignored by the server.
 	TraceID string
+	// Token, when non-empty, is sent as "Authorization: Bearer" on
+	// every request — required when the server runs with -token.
+	Token string
 }
 
 // NewClient builds a client for the server at base (e.g.
@@ -37,17 +89,44 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// authorize attaches the bearer token when one is configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+}
+
+// apiError converts a non-2xx reply into an *APIError, preferring the
+// typed JSON body the admission gate writes and falling back to the
+// raw message for plain http.Error replies.
+func apiError(req *http.Request, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var body apiErrorBody
+	if json.Unmarshal(msg, &body) == nil && body.Code != "" {
+		return &APIError{
+			Status:     resp.StatusCode,
+			Code:       body.Code,
+			Message:    body.Error,
+			RetryAfter: time.Duration(body.RetryAfter) * time.Millisecond,
+		}
+	}
+	return &APIError{
+		Status:  resp.StatusCode,
+		Message: fmt.Sprintf("%s %s: %s", req.Method, req.URL.Path, strings.TrimSpace(string(msg))),
+	}
+}
+
 // do issues one request and decodes the JSON reply into out, mapping
-// non-2xx statuses onto errors carrying the server's message.
+// non-2xx statuses onto typed *APIError values.
 func (c *Client) do(req *http.Request, out any) error {
+	c.authorize(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+		return apiError(req, resp)
 	}
 	if out == nil {
 		return nil
@@ -88,14 +167,14 @@ func (c *Client) FetchTrace(ctx context.Context, id string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.authorize(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("GET %s: %s: %s", req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+		return nil, apiError(req, resp)
 	}
 	return io.ReadAll(resp.Body)
 }
@@ -134,14 +213,14 @@ func (c *Client) StreamResults(ctx context.Context, id string, fn func(CellResul
 	if err != nil {
 		return err
 	}
+	c.authorize(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("GET %s: %s: %s", req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+		return apiError(req, resp)
 	}
 	dec := json.NewDecoder(resp.Body)
 	for {

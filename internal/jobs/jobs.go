@@ -50,7 +50,9 @@ import (
 	"time"
 
 	"recyclesim"
+	"recyclesim/internal/backoff"
 	"recyclesim/internal/config"
+	"recyclesim/internal/fleet"
 	"recyclesim/internal/obs"
 	"recyclesim/internal/obs/trace"
 	"recyclesim/internal/sample"
@@ -135,6 +137,22 @@ type Config struct {
 	// Retries is the number of extra attempts a failed cell gets before
 	// its error is recorded (cancellation is never retried).
 	Retries int
+	// RetryDelay and RetryDelayMax shape the capped exponential
+	// backoff (with equal jitter) between a cell's retry attempts;
+	// zero RetryDelay keeps retries immediate, zero RetryDelayMax
+	// defaults to 64x the base.
+	RetryDelay    time.Duration
+	RetryDelayMax time.Duration
+	// Fleet, when non-nil, routes cell computes through the
+	// distributed dispatcher: workers compute leased cells, and the
+	// dispatcher falls back to in-process execution when none are
+	// attached.  Store-level dedupe is unchanged — the dispatcher sits
+	// inside the single-flight compute callback.
+	Fleet *fleet.Dispatcher
+	// Auth, when non-nil, guards the job API with bearer-token
+	// authentication, per-client in-flight-cell quotas, and request
+	// rate limits (typed 401/429 replies).
+	Auth *AuthConfig
 	// Progress, when non-nil, receives per-cell progress across all
 	// jobs (feeding the obs server's /progress endpoint).
 	Progress *sweep.Progress
@@ -144,6 +162,12 @@ type Config struct {
 	// Log receives the server's structured records (job lifecycle, cell
 	// failures, stream disconnects).  nil discards them.
 	Log *slog.Logger
+
+	// retrySleep and retryRand inject the backoff timing and jitter
+	// source for deterministic tests; nil selects backoff.Sleep and a
+	// fixed-seed backoff.Rand per compute.
+	retrySleep func(context.Context, time.Duration) error
+	retryRand  func() float64
 }
 
 // Server owns the job table and executes submitted sweeps.
@@ -152,6 +176,7 @@ type Server struct {
 	store *store.Store
 	cfg   Config
 	log   *slog.Logger
+	gate  *gate // nil when cfg.Auth is nil (open service)
 
 	mu   sync.Mutex
 	seq  int
@@ -168,8 +193,9 @@ type Server struct {
 // under mu; cond wakes streaming readers on every append and on
 // completion.
 type job struct {
-	id    string
-	cells []CellSpec
+	id     string
+	cells  []CellSpec
+	client string // admission-gate identity; quota released per cell
 
 	// The request trace: root is the whole-job span; cellCtx[i] and
 	// queueCtx[i] are cell i's "cell" span (parent of its store/stream
@@ -265,7 +291,11 @@ func NewServer(ctx context.Context, st *store.Store, cfg Config) *Server {
 	if log == nil {
 		log = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
-	return &Server{ctx: ctx, store: st, cfg: cfg, log: log, jobs: make(map[string]*job)}
+	s := &Server{ctx: ctx, store: st, cfg: cfg, log: log, jobs: make(map[string]*job)}
+	if cfg.Auth != nil {
+		s.gate = newGate(*cfg.Auth)
+	}
+	return s
 }
 
 // Registrar is the mux surface Register needs; *http.ServeMux and
@@ -274,14 +304,21 @@ type Registrar interface {
 	Handle(pattern string, h http.Handler)
 }
 
-// Register mounts the job API onto mux.
+// Register mounts the job API onto mux, guarded by the admission gate
+// when Config.Auth is set.
 func (s *Server) Register(mux Registrar) {
-	mux.Handle("POST /jobs", http.HandlerFunc(s.handleSubmit))
-	mux.Handle("GET /jobs", http.HandlerFunc(s.handleList))
-	mux.Handle("GET /jobs/{id}", http.HandlerFunc(s.handleStatus))
-	mux.Handle("GET /jobs/{id}/results", http.HandlerFunc(s.handleResults))
-	mux.Handle("GET /jobs/{id}/trace", http.HandlerFunc(s.handleTrace))
-	mux.Handle("GET /storestats", http.HandlerFunc(s.handleStoreStats))
+	wrap := func(h http.HandlerFunc) http.Handler {
+		if s.gate == nil {
+			return h
+		}
+		return s.gate.wrap(h)
+	}
+	mux.Handle("POST /jobs", wrap(s.handleSubmit))
+	mux.Handle("GET /jobs", wrap(s.handleList))
+	mux.Handle("GET /jobs/{id}", wrap(s.handleStatus))
+	mux.Handle("GET /jobs/{id}/results", wrap(s.handleResults))
+	mux.Handle("GET /jobs/{id}/trace", wrap(s.handleTrace))
+	mux.Handle("GET /storestats", wrap(s.handleStoreStats))
 }
 
 // StoreCounters exposes the underlying store accounting (tests and the
@@ -298,11 +335,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: no cells", http.StatusBadRequest)
 		return
 	}
+	client := clientFrom(r.Context())
+	if s.gate != nil {
+		if ok, inflight := s.gate.admitCells(client, len(req.Cells)); !ok {
+			writeAPIError(w, http.StatusTooManyRequests, CodeOverQuota,
+				fmt.Sprintf("in-flight cell quota exceeded: %d in flight + %d requested > limit %d",
+					inflight, len(req.Cells), s.gate.cfg.MaxInFlightCells), 0)
+			return
+		}
+	}
 	tid, ok := trace.ParseID(r.Header.Get(TraceHeader))
 	if !ok {
 		tid = trace.NewID()
 	}
 	j := s.newJob(req.Cells, tid)
+	j.client = client
 	if s.cfg.Progress != nil {
 		s.cfg.Progress.AddTotal(len(req.Cells))
 	}
@@ -323,7 +370,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) newJob(cells []CellSpec, tid trace.ID) *job {
 	j := &job{cells: cells, state: "running"}
 	j.cond = sync.NewCond(&j.mu)
-	j.trace = trace.New(tid, 2+len(cells)*(10+s.cfg.Retries))
+	// Worst case per cell adds a backoff span per retry, and the fleet
+	// path adds lease/requeue spans per requeue round.
+	j.trace = trace.New(tid, 2+len(cells)*(12+2*s.cfg.Retries))
 	j.trace.SetOnEnd(s.lat.observe)
 	s.mu.Lock()
 	s.seq++
@@ -556,6 +605,9 @@ func (s *Server) runJob(j *job) {
 		}
 		j.cond.Broadcast()
 		j.mu.Unlock()
+		if s.gate != nil {
+			s.gate.releaseCells(j.client, 1)
+		}
 		cc.End()
 	})
 	j.mu.Lock()
@@ -568,6 +620,55 @@ func (s *Server) runJob(j *job) {
 	s.log.Info("job done", "job", j.id, "trace", j.trace.ID().String(),
 		"cells", len(j.cells), "hits", hits, "computes", computes, "failed", failed,
 		"elapsed", j.trace.Elapsed().String())
+}
+
+// fleetSpec converts the wire cell spec into the dispatcher's unit of
+// work (the shapes are intentionally identical; insts defaulting and
+// the 40x cycle policy live in fleet.Execute so local and remote
+// computes share one canonical executor).
+func fleetSpec(c CellSpec) fleet.Spec {
+	s := fleet.Spec{
+		Machine:   c.Machine,
+		Features:  c.Features,
+		Workloads: c.Workloads,
+		Insts:     c.Insts,
+	}
+	if c.Sampling != nil {
+		s.Sampling = &fleet.Sampling{
+			Period:      c.Sampling.Period,
+			IntervalLen: c.Sampling.IntervalLen,
+			WarmupLen:   c.Sampling.WarmupLen,
+			Confidence:  c.Sampling.Confidence,
+		}
+	}
+	return s
+}
+
+// backoffWait sleeps the capped exponential backoff before retry
+// attempt (0-based), under a "backoff" span.  Zero RetryDelay is a
+// no-op, preserving the historical immediate-retry behavior.
+func (s *Server) backoffWait(attempt int, rnd func() float64, cs trace.Ctx) {
+	if s.cfg.RetryDelay <= 0 {
+		return
+	}
+	sleep := s.cfg.retrySleep
+	if sleep == nil {
+		sleep = backoff.Sleep
+	}
+	bs := cs.Start("backoff").Uint("attempt", uint64(attempt))
+	_ = sleep(s.ctx, backoff.Delay(s.cfg.RetryDelay, s.cfg.RetryDelayMax, attempt, rnd))
+	bs.End()
+}
+
+// retryJitter returns the jitter source for one cell's retry backoff.
+func (s *Server) retryJitter() func() float64 {
+	if s.cfg.retryRand != nil {
+		return s.cfg.retryRand
+	}
+	if s.cfg.RetryDelay <= 0 {
+		return nil
+	}
+	return backoff.Rand(0x9e3779b97f4a7c15)
 }
 
 // cellName renders a cell for progress display and error reports.
@@ -601,6 +702,9 @@ func (s *Server) runCell(c CellSpec, idx int, tc trace.Ctx) CellResult {
 	}
 	key := store.CellKey(c.Machine, c.Features, store.HashPrograms(progs), insts, sampKey)
 	rec, cached, err := s.store.GetOrComputeTraced(key, tc, func(cs trace.Ctx) (*store.Record, error) {
+		if s.cfg.Fleet != nil {
+			return s.cfg.Fleet.Compute(s.ctx, fleetSpec(c), key, cs)
+		}
 		if c.Sampling != nil {
 			return s.computeSampled(c, insts, cs)
 		}
@@ -625,6 +729,7 @@ func (s *Server) runCell(c CellSpec, idx int, tc trace.Ctx) CellResult {
 // attempts (with fresh telemetry each time, so a partially accumulated
 // failed attempt never leaks into the stored record).
 func (s *Server) computeDetailed(c CellSpec, insts uint64, cs trace.Ctx) (*store.Record, error) {
+	rnd := s.retryJitter()
 	for attempt := 0; ; attempt++ {
 		at := cs.Start("attempt").Uint("attempt", uint64(attempt))
 		tel := &obs.Metrics{Hists: true}
@@ -644,6 +749,7 @@ func (s *Server) computeDetailed(c CellSpec, insts uint64, cs trace.Ctx) (*store
 		if attempt >= s.cfg.Retries || errors.Is(err, recyclesim.ErrCanceled) || errors.Is(err, recyclesim.ErrDeadline) {
 			return nil, err
 		}
+		s.backoffWait(attempt, rnd, cs)
 	}
 }
 
@@ -659,6 +765,7 @@ func (s *Server) computeSampled(c CellSpec, insts uint64, cs trace.Ctx) (*store.
 		samp.WarmupLen = c.Sampling.WarmupLen
 		samp.Confidence = c.Sampling.Confidence
 	}
+	rnd := s.retryJitter()
 	for attempt := 0; ; attempt++ {
 		at := cs.Start("attempt").Uint("attempt", uint64(attempt))
 		res, err := recyclesim.RunSampledContext(s.ctx, recyclesim.Options{
@@ -676,5 +783,6 @@ func (s *Server) computeSampled(c CellSpec, insts uint64, cs trace.Ctx) (*store.
 		if attempt >= s.cfg.Retries || errors.Is(err, recyclesim.ErrCanceled) || errors.Is(err, recyclesim.ErrDeadline) {
 			return nil, err
 		}
+		s.backoffWait(attempt, rnd, cs)
 	}
 }

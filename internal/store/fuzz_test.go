@@ -1,0 +1,64 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+
+	"recyclesim/internal/stats"
+)
+
+// FuzzStoreDecode drives the record parser with arbitrary bytes and
+// keys.  The properties: decode never panics, whatever the input; an
+// accepted record satisfies the serving contract (current codec
+// version, echoed key, non-nil payload); decode is deterministic; and
+// every defect — corrupt JSON, truncation, version skew, a mis-keyed
+// record — is a miss, never a partial record.  Seed corpus: a valid
+// marshaled record plus the exact damage shapes the store's
+// corruption contract promises to absorb.
+func FuzzStoreDecode(f *testing.F) {
+	const key = "abc123"
+	valid, err := json.Marshal(&Record{
+		Version: recordVersion,
+		Key:     key,
+		Stats:   &stats.Sim{Committed: 42, Cycles: 99},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid, key)
+	f.Add(valid[:len(valid)/2], key)                         // truncated mid-record
+	f.Add([]byte(`{"v":99,"key":"abc123","stats":{}}`), key) // version skew
+	f.Add([]byte(`{"v":1,"key":"abc123"}`), key)             // no payload
+	f.Add([]byte(`{"v":1,"key":"other","stats":{}}`), key)   // mis-keyed
+	f.Add([]byte(`{"v":1,"key":"abc123","stats":{"committed":-1}}`), key)
+	f.Add([]byte(``), key)
+	f.Add([]byte(`null`), key)
+	f.Add([]byte(`[]`), "")
+	f.Add([]byte(`{"v":1,"key":"abc123","sampled":{"ipc":"NaN"}}`), key)
+
+	f.Fuzz(func(t *testing.T, data []byte, key string) {
+		rec, ok := decode(data, key)
+		if !ok {
+			if rec != nil {
+				t.Fatal("miss returned a non-nil record")
+			}
+			return
+		}
+		if rec == nil {
+			t.Fatal("hit returned a nil record")
+		}
+		if !rec.valid(key) {
+			t.Errorf("decode accepted a record that fails valid(%q): %+v", key, rec)
+		}
+		// Deterministic: the same bytes decode to the same record.
+		rec2, ok2 := decode(data, key)
+		if !ok2 {
+			t.Fatal("second decode of accepted bytes missed")
+		}
+		b1, _ := json.Marshal(rec)
+		b2, _ := json.Marshal(rec2)
+		if string(b1) != string(b2) {
+			t.Errorf("decode not deterministic:\n first %s\nsecond %s", b1, b2)
+		}
+	})
+}

@@ -151,12 +151,24 @@ func (s *Store) get(key string) (rec *Record, ok, corrupt bool) {
 	if err != nil {
 		return nil, false, false
 	}
-	var r Record
-	if jerr := json.Unmarshal(data, &r); jerr != nil || !r.valid(key) {
+	rec, ok = decode(data, key)
+	if !ok {
 		s.corrupt.Add(1)
 		return nil, false, true
 	}
-	return &r, true, false
+	return rec, true, false
+}
+
+// decode parses one on-disk record for key.  Any defect — unparseable
+// JSON, foreign codec version, key mismatch, missing payload — is a
+// miss (nil, false), never a panic or an error: the store's corruption
+// contract lives here, and FuzzStoreDecode hammers it.
+func decode(data []byte, key string) (*Record, bool) {
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil || !r.valid(key) {
+		return nil, false
+	}
+	return &r, true
 }
 
 // Put persists rec under key atomically: the record is written to a

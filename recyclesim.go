@@ -37,7 +37,9 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
+	"time"
 
+	"recyclesim/internal/backoff"
 	"recyclesim/internal/config"
 	"recyclesim/internal/core"
 	"recyclesim/internal/obs"
@@ -435,6 +437,21 @@ type BatchConfig struct {
 	// identically on retry; the knob exists for user hooks with
 	// external effects.
 	Retries int
+	// RetryDelay, when positive, waits before each retry: the delay
+	// doubles per attempt (with equal jitter, so concurrent retriers
+	// spread out) and is capped at RetryDelayMax (default
+	// 64*RetryDelay).  Zero keeps the historical immediate retry.
+	// The wait is context-aware: cancellation during a backoff wait
+	// fails the job as canceled instead of sleeping it out.
+	RetryDelay    time.Duration
+	RetryDelayMax time.Duration
+
+	// retrySleep and retryRand are the deterministic injection points
+	// the backoff tests use; nil selects backoff.Sleep and a
+	// fixed-seed backoff.Rand.  (Fields are unexported: external
+	// callers get the production behavior.)
+	retrySleep func(context.Context, time.Duration) error
+	retryRand  func() float64
 }
 
 // RunBatch executes the given simulations concurrently on a worker
@@ -469,9 +486,20 @@ func RunBatchContext(ctx context.Context, opts []Options, cfg BatchConfig) ([]*R
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sleep := cfg.retrySleep
+	if sleep == nil {
+		sleep = backoff.Sleep
+	}
 	results := make([]*Result, len(opts))
 	errs := make([]error, len(opts))
 	sweep.Run(len(opts), cfg.Workers, func(i int) {
+		// Each job gets its own jitter stream (the shared injection
+		// point is honored when set): seeded by index so reruns of the
+		// same batch draw the same delays.
+		rnd := cfg.retryRand
+		if rnd == nil && cfg.RetryDelay > 0 {
+			rnd = backoff.Rand(uint64(i) + 1)
+		}
 		for attempt := 0; ; attempt++ {
 			if cerr := ctx.Err(); cerr != nil {
 				kind := ErrCanceled
@@ -486,6 +514,9 @@ func RunBatchContext(ctx context.Context, opts []Options, cfg BatchConfig) ([]*R
 				errors.Is(errs[i], ErrCanceled) || errors.Is(errs[i], ErrDeadline) {
 				return
 			}
+			// Back off before the retry; a cancellation that lands
+			// mid-wait is caught by the ctx check at the top.
+			_ = sleep(ctx, backoff.Delay(cfg.RetryDelay, cfg.RetryDelayMax, attempt, rnd))
 		}
 	})
 	var joined []error
